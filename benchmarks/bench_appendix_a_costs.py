@@ -1,0 +1,68 @@
+"""Appendix A — memory and communication: batch vs pipeline parallelism."""
+
+import pytest
+
+from benchmarks.conftest import store  # noqa: F401  (fixture)
+from repro.models import resnet20, resnet_tiny
+from repro.pipeline import (
+    batch_parallel_activation_elements,
+    data_parallel_comm_per_update,
+    pipeline_comm_per_step,
+    pipeline_cost_model,
+)
+from repro.utils import ResultStore, format_table
+
+
+@pytest.mark.benchmark(group="appendix_a")
+def test_appendix_a_costs(benchmark):
+    def compute():
+        model = resnet20()
+        shape = (3, 32, 32)
+        cm = pipeline_cost_model(model, shape)
+        comm = pipeline_comm_per_step(model, shape)
+        return {
+            "stage_rows": [
+                {
+                    "stage": sc.index,
+                    "name": sc.name,
+                    "in_flight": sc.max_in_flight,
+                    "stash_elems": sc.stash_elements,
+                }
+                for sc in cm.stage_costs[:4] + cm.stage_costs[-4:]
+            ],
+            "pipeline_total_stash": cm.total_stash_elements,
+            "pipeline_peak_stage_stash": cm.peak_stage_stash,
+            "batch_parallel_per_worker": batch_parallel_activation_elements(
+                model, shape, per_worker_batch=1
+            ),
+            "dp_comm_per_update": data_parallel_comm_per_update(model),
+            "pipe_comm_per_step_max": max(comm),
+            "num_stages": model.num_stages,
+            "params": model.num_parameters(),
+        }
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ResultStore().save("appendix_a", result)
+    print()
+    print(format_table(result["stage_rows"],
+                       title="[appendix A] RN20 per-stage stash (ends)"))
+    print(f"[appendix A] pipeline total stash: "
+          f"{result['pipeline_total_stash']:,} elements; "
+          f"one batch-parallel worker: "
+          f"{result['batch_parallel_per_worker']:,} elements")
+    print(f"[appendix A] comm: data-parallel {result['dp_comm_per_update']:,} "
+          f"elements/update vs pipeline <= "
+          f"{result['pipe_comm_per_step_max']:,} elements/step/worker")
+
+    # per-worker memory is very uneven in the pipeline: early stages hold
+    # the most (first worker stores for ~2W steps)
+    rows = result["stage_rows"]
+    assert rows[0]["in_flight"] > rows[-2]["in_flight"]
+    # total activation memory is the same order as W batch-parallel
+    # workers (Appendix A: 'comes out to be approximately the same')
+    total_bp = result["num_stages"] * result["batch_parallel_per_worker"]
+    ratio = result["pipeline_total_stash"] / total_bp
+    assert 0.02 < ratio < 50.0
+    # a pipeline worker's per-step traffic is far below a full-gradient
+    # exchange for this conv net
+    assert result["pipe_comm_per_step_max"] < result["dp_comm_per_update"]

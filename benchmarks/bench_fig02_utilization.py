@@ -1,0 +1,34 @@
+"""Figure 2 / eq. 1 — pipeline utilization: fill-drain SGD vs PB."""
+
+import pytest
+
+from benchmarks.conftest import print_rows, run_and_save
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_utilization(benchmark):
+    result = run_and_save(benchmark, "fig02")
+    print_rows("fig02", result)
+    print(result["ascii_fill_drain"])
+
+    rows = {(r["net"], r["batch"]): r for r in result["rows"]}
+    # eq. 1: the bound is below the exact value and both grow with batch
+    for (net, batch), r in rows.items():
+        assert r["eq1_upper_bound"] <= r["fill_drain_util"] + 1e-12
+    # larger batches utilize better (Figure 2 top vs middle)
+    assert rows[("rn20", 128)]["fill_drain_util"] > rows[("rn20", 1)][
+        "fill_drain_util"
+    ]
+    # PB over an epoch beats even batch-128 fill/drain (Figure 2 bottom)
+    for net in ("vgg11", "rn20", "rn50", "rn110"):
+        assert rows[(net, 128)]["pb_util_50k"] > rows[(net, 128)][
+            "fill_drain_util"
+        ]
+    # deeper pipelines suffer more from fill/drain
+    assert rows[("rn110", 32)]["fill_drain_util"] < rows[("rn20", 32)][
+        "fill_drain_util"
+    ]
+    # the occupancy-grid model agrees with the closed forms exactly
+    gc = result["grid_check"]
+    assert gc["fill_drain_grid"] == pytest.approx(gc["fill_drain_formula"])
+    assert gc["pb_grid"] == pytest.approx(gc["pb_formula"])

@@ -1,0 +1,48 @@
+"""Figure 4 — dominant-root heatmaps over (eta*lambda, momentum)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+from repro.utils import ascii_heatmap
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_root_heatmaps(benchmark):
+    result = run_and_save(benchmark, "fig04")
+    panels = {k: np.asarray(v) for k, v in result["panels"].items()}
+    areas = result["stable_areas"]
+
+    print()
+    for name in ("GDM D=1", "SC_D D=1"):
+        grid = panels[name].copy()
+        grid[grid >= 1.0] = np.nan  # paper blacks out the unstable region
+        print(
+            ascii_heatmap(
+                grid[::6],
+                title=f"[fig04] |r_max| {name} (rows: momentum hi->lo)",
+                vmin=0.0,
+                vmax=1.0,
+            )
+        )
+    print(f"[fig04] stable areas: {areas}")
+
+    # delay shrinks the stable region (GDM D=1 vs D=0)
+    assert areas["GDM D=1"] < areas["GDM D=0"]
+    # SC_D strictly increases the region of stability over delayed GDM
+    gdm_stable = panels["GDM D=1"] < 1.0
+    sc_stable = panels["SC_D D=1"] < 1.0
+    assert np.all(sc_stable | ~gdm_stable)  # superset
+    assert areas["SC_D D=1"] > areas["GDM D=1"]
+    # the combination's stability pattern resembles no-delay Nesterov far
+    # more than delayed GDM does (paper: 'resemble the ones for the
+    # no-delay Nesterov baseline')
+    nesterov = panels["Nesterov D=0"] < 1.0
+    combo = panels["LWPw_D+SC_D D=1"] < 1.0
+    gdm = panels["GDM D=1"] < 1.0
+    agree_combo = (combo == nesterov).mean()
+    agree_gdm = (gdm == nesterov).mean()
+    assert agree_combo > agree_gdm
+    # at high momentum, mitigation methods admit larger learning rates
+    high_m = slice(-12, None)  # rows with momentum closest to 1
+    assert sc_stable[high_m].sum() > gdm_stable[high_m].sum()

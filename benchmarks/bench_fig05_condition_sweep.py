@@ -1,0 +1,32 @@
+"""Figure 5 — min half-life vs condition number (delay 1)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+from repro.utils.render import format_series
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_condition_sweep(benchmark):
+    result = run_and_save(benchmark, "fig05")
+    kappas = np.asarray(result["kappa"])
+    series = {k: np.asarray(v) for k, v in result["series"].items()}
+    print()
+    print(format_series(kappas, series, x_name="kappa", floatfmt="{:.3g}"))
+
+    hi = -1  # largest condition number
+    gdm = series["GDM D=1"]
+    # every mitigation improves on delayed GDM at high kappa
+    assert series["SC_D D=1"][hi] < gdm[hi]
+    assert series["LWP_D D=1"][hi] < gdm[hi]
+    # the combination performs best (paper caption)
+    combo = series["LWPw_D+SC_D D=1"]
+    assert combo[hi] <= series["SC_D D=1"][hi]
+    assert combo[hi] <= series["LWP_D D=1"][hi]
+    # half-life grows monotonically-ish with kappa for every method
+    for name, vals in series.items():
+        finite = np.isfinite(vals)
+        assert vals[finite][-1] >= vals[finite][0], name
+    # the no-delay baseline lower-bounds the delayed ones
+    assert series["GDM D=0"][hi] <= gdm[hi]

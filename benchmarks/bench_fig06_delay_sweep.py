@@ -1,0 +1,32 @@
+"""Figure 6 — min half-life vs delay (kappa = 1e3)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+from repro.utils.render import format_series
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_delay_sweep(benchmark):
+    result = run_and_save(benchmark, "fig06")
+    delays = np.asarray(result["delay"])
+    series = {k: np.asarray(v) for k, v in result["series"].items()}
+    print()
+    print(format_series(delays, series, x_name="delay", floatfmt="{:.4g}"))
+
+    gdm = series["GDM"]
+    combo = series["LWPw_D+SC_D"]
+    lwp = series["LWP_D"]
+    # at zero delay everything coincides with plain GDM
+    assert combo[0] == pytest.approx(gdm[0], rel=0.05)
+    # delay hurts GDM
+    assert gdm[-1] > gdm[0]
+    # mitigations beat GDM at every positive delay; combination is best
+    for i in range(1, len(delays)):
+        assert lwp[i] <= gdm[i] * 1.01
+        assert combo[i] <= lwp[i] * 1.01
+    # the onset of delay hits GDM far harder than the combination
+    # (paper: the combo curve is nearly flat next to GDM's)
+    assert gdm[1] / gdm[0] > 3.0 * (combo[1] / combo[0])
+    assert gdm[-1] > 3 * combo[-1]

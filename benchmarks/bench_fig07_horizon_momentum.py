@@ -1,0 +1,32 @@
+"""Figure 7 — half-life vs momentum for LWP horizons (kappa=1e3, D=5)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_horizon_momentum(benchmark):
+    result = run_and_save(benchmark, "fig07")
+    momenta = np.asarray(result["momentum"])
+    series = {k: np.asarray(v) for k, v in result["series"].items()}
+    print()
+    for name, vals in series.items():
+        best = momenta[int(np.nanargmin(vals))]
+        print(f"[fig07] {name:16s} best half-life {np.nanmin(vals):10.1f} "
+              f"at m={best:.5f}")
+
+    t0 = series["LWP T=0"]
+    t10 = series["LWP T=10"]  # T = 2D for D=5
+    combo = series["LWPw_D+SC_D"]
+    # without mitigation, large momentum is catastrophic
+    assert t0[-1] > 2 * np.nanmin(t0)
+    # T = 2D beats T = 0 at its best point and prefers high momentum
+    assert np.nanmin(t10) < np.nanmin(t0)
+    assert momenta[int(np.nanargmin(t10))] > 0.5
+    # extended horizons do not beat the combination (paper §3.5)
+    for name in ("LWP T=0", "LWP T=3", "LWP T=5", "LWP T=10", "LWP T=20"):
+        assert np.nanmin(combo) <= np.nanmin(series[name]) * 1.02, name
+    # the combination restores the benefit of momentum: optimum at high m
+    assert momenta[int(np.nanargmin(combo))] > 0.9

@@ -1,0 +1,28 @@
+"""Figure 10 — stale gradients vs inconsistent weights."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+from repro.utils.render import format_series
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_inconsistency(benchmark):
+    result = run_and_save(benchmark, "fig10")
+    delays = result["delays"]
+    series = {k: np.asarray(v) for k, v in result["series"].items()}
+    print()
+    print(format_series(delays, series, x_name="delay"))
+
+    consistent = series["consistent"]
+    forward_only = series["forward_only"]
+    # even modest *consistent* delay costs accuracy (the paper's headline
+    # for this figure: staleness alone is damaging)
+    assert consistent[-1] < consistent[0] * 0.7
+    # at zero delay both modes are identical training procedures
+    assert consistent[0] == pytest.approx(forward_only[0], abs=0.25)
+    # inconsistency does not add much damage at small delays (the curves
+    # track each other within noise at D <= 2)
+    small = slice(0, 3)
+    assert np.allclose(consistent[small], forward_only[small], atol=0.3)

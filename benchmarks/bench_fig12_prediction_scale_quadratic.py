@@ -1,0 +1,26 @@
+"""Figure 12 — prediction-scale sweep on the convex quadratic."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+from repro.utils.render import format_series
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_prediction_scale(benchmark):
+    result = run_and_save(benchmark, "fig12")
+    scales = np.asarray(result["prediction_scale"])
+    series = {k: np.asarray(v) for k, v in result["series_log10_halflife"].items()}
+    print()
+    print(format_series(scales, series, x_name="alpha", floatfmt="{:.3f}"))
+
+    for name, vals in series.items():
+        best_alpha = scales[int(np.nanargmin(vals))]
+        # the optimum over-compensates: alpha in (1, 4) around T = 2D
+        assert 1.0 <= best_alpha <= 4.0, (name, best_alpha)
+        # alpha ~ 2 beats no prediction (alpha = 0)
+        idx2 = int(np.argmin(np.abs(scales - 2.0)))
+        assert vals[idx2] < vals[0], name
+        # very large horizons degrade again (U-shape)
+        assert vals[-1] > np.nanmin(vals), name

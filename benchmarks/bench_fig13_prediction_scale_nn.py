@@ -1,0 +1,29 @@
+"""Figure 13 — prediction-scale sweep on a network (delay 4)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+from repro.utils.render import format_series
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_prediction_scale_nn(benchmark):
+    result = run_and_save(benchmark, "fig13")
+    alphas = np.asarray(result["prediction_scale"])
+    accs = np.asarray(result["val_acc"])
+    losses = np.asarray(result["final_train_loss"])
+    print()
+    print(
+        format_series(
+            alphas,
+            {"val_acc": accs, "train_loss": losses},
+            x_name="alpha",
+        )
+    )
+
+    # predicting (alpha in [1, 2]) improves the final loss over alpha=0
+    best_small = losses[(alphas >= 1.0) & (alphas <= 2.0)].min()
+    assert best_small <= losses[0]
+    # the best accuracy occurs at a positive prediction scale
+    assert alphas[int(np.argmax(accs))] >= 1.0

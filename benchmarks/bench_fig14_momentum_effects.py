@@ -1,0 +1,32 @@
+"""Figure 14 — momentum effects under delay (consistent + inconsistent)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_save
+from repro.utils.render import format_series
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_momentum_effects(benchmark):
+    result = run_and_save(benchmark, "fig14")
+    momenta = result["momentum"]
+    print()
+    for panel, series in result["panels"].items():
+        print(f"[fig14] {panel}:")
+        print(format_series(momenta, series, x_name="momentum"))
+
+    for panel in ("consistent", "inconsistent"):
+        series = {k: np.asarray(v) for k, v in result["panels"][panel].items()}
+        combo = series["LWPv_D+SC_D"]
+        delayed = series["delayed"]
+        # the compensation methods obtain their best accuracy at large
+        # momentum values (paper: 'best accuracy is obtained for large
+        # momentum values')
+        assert momenta[int(np.argmax(combo))] >= 0.99, panel
+        # at the highest momentum the combination beats the plain delayed
+        # baseline
+        assert combo[-1] > delayed[-1] - 0.02, panel
+        # the combination at its best is competitive with the no-delay
+        # baseline's best
+        assert combo.max() > 0.5 * series["no_delay"].max(), panel

@@ -1,0 +1,21 @@
+"""Figure 16 — executor validation: fill&drain SGD == batch SGD."""
+
+import pytest
+
+from benchmarks.conftest import run_and_save
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_executor_validation(benchmark):
+    result = run_and_save(benchmark, "fig16")
+    print()
+    print(f"[fig16] max |w_pipeline - w_reference| = "
+          f"{result['max_param_diff']:.3e}")
+    print(f"[fig16] val acc pipeline={result['val_acc_pipeline']:.4f} "
+          f"reference={result['val_acc_reference']:.4f}")
+
+    # the cycle-accurate pipeline in fill&drain mode IS mini-batch SGD
+    assert result["max_param_diff"] < 1e-9
+    assert result["val_acc_pipeline"] == pytest.approx(
+        result["val_acc_reference"], abs=1e-12
+    )

@@ -1,0 +1,25 @@
+"""Figure 17 — eq. 9 hyperparameter scaling: batch-1 tracks the reference."""
+
+import pytest
+
+from benchmarks.conftest import run_and_save
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_hparam_scaling(benchmark):
+    result = run_and_save(benchmark, "fig17")
+    final = result["final_acc"]
+    print()
+    for name, curve in result["curves"].items():
+        pts = ", ".join(f"{s}:{a:.3f}" for s, a in curve)
+        print(f"[fig17] {name}: {pts}")
+
+    ref = final["batch32_reference"]
+    scaled = final["batch1_eq9_scaled"]
+    naive = final["batch1_naive_unscaled"]
+    # the scaled batch-1 run lands close to the reference...
+    assert abs(scaled - ref) < 0.15
+    # ...and much closer than the naive (unscaled) batch-1 run, which uses
+    # a 32x-too-large per-sample contribution
+    assert abs(scaled - ref) <= abs(naive - ref)
+    assert scaled > naive - 0.02

@@ -1,0 +1,32 @@
+"""Table 6 — velocity-form vs weight-difference-form LWP in the combo."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_rows, run_and_save
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_lwpv_vs_lwpw(benchmark):
+    result = run_and_save(benchmark, "table6")
+    print_rows("table6", result)
+
+    for row in result["rows"]:
+        # both combined forms improve on (or at least match) plain PB —
+        # plain PB itself may sit at chance on the deepest pipelines
+        for m in ("PB+LWPv_D+SC_D", "PB+LWPw_D+SC_D"):
+            assert row[m] >= row["PB"] - 0.03, (row["net"], m, row)
+
+    # the two forms genuinely differ when combined with SC (eq. 26): the
+    # accuracies must not be bitwise-identical across the suite
+    diffs = [
+        abs(r["PB+LWPv_D+SC_D"] - r["PB+LWPw_D+SC_D"])
+        for r in result["rows"]
+    ]
+    assert max(diffs) > 0.0
+
+    # paper: LWPv >= LWPw on average (the weight form's velocity estimate
+    # is noisier at small batch sizes)
+    mean_v = np.mean([r["PB+LWPv_D+SC_D"] for r in result["rows"]])
+    mean_w = np.mean([r["PB+LWPw_D+SC_D"] for r in result["rows"]])
+    assert mean_v >= mean_w - 0.1

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper table/figure via
+:mod:`repro.experiments`, prints the rows/series the paper reports,
+persists the payload under ``results/``, and asserts the paper's
+qualitative claims (orderings, crossovers, stability regions).  Absolute
+values are not expected to match — the substrate is a synthetic-data CPU
+simulation (see DESIGN.md) — but the *shape* of every result is checked.
+
+Run with ``pytest benchmarks/ --benchmark-only``; set ``REPRO_SCALE=paper``
+for full-size runs.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.utils import ResultStore, format_table
+
+warnings.filterwarnings("ignore", category=RuntimeWarning)
+
+_STORE = ResultStore()
+
+
+@pytest.fixture(scope="session")
+def store() -> ResultStore:
+    return _STORE
+
+
+def run_and_save(benchmark, exp_id: str) -> dict:
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id), rounds=1, iterations=1
+    )
+    _STORE.save(exp_id, result)
+    return result
+
+
+def print_rows(exp_id: str, result: dict) -> None:
+    if "rows" in result:
+        print()
+        print(format_table(result["rows"], title=f"[{exp_id}] regenerated"))
+    if "meta" in result and "paper" in result["meta"]:
+        print(f"[{exp_id}] paper: {result['meta']['paper']}")

@@ -1,0 +1,68 @@
+"""Pipeline schedules, utilization and delay structure (Figures 1-2).
+
+Renders fill-and-drain vs pipelined-backpropagation occupancy grids,
+tabulates utilization for the paper's networks (eq. 1), and prints the
+per-stage delay law for a real stage-partitioned model.
+
+Run:  python examples/pipeline_schedules.py
+"""
+
+from __future__ import annotations
+
+from repro.models import build_model, PAPER_STAGE_COUNTS
+from repro.pipeline import (
+    fill_drain_occupancy,
+    fill_drain_utilization,
+    pb_occupancy,
+    pb_utilization,
+    render_occupancy,
+    schedule_utilization,
+    stage_delay_table,
+    utilization_upper_bound,
+)
+from repro.utils import format_table
+
+
+def schedules() -> None:
+    print("Fill-and-drain mini-batch SGD, 4 stages, batch 3, 2 batches")
+    print("(F forward, B backward, X both, . idle):\n")
+    occ = fill_drain_occupancy(num_stages=4, batch_size=3, num_batches=2)
+    print(render_occupancy(occ))
+    print(f"utilization: {schedule_utilization(occ):.3f}\n")
+
+    print("Pipelined backpropagation, 4 stages, continuous stream:")
+    occ = pb_occupancy(num_stages=4, num_samples=20)
+    print(render_occupancy(occ))
+    print(f"utilization over 20 samples: {schedule_utilization(occ):.3f} "
+          "(approaches 1 as the stream grows)\n")
+
+
+def utilization_table() -> None:
+    rows = []
+    for net, S in PAPER_STAGE_COUNTS.items():
+        rows.append(
+            {
+                "net": net,
+                "stages": S,
+                "fill_drain@N=32": fill_drain_utilization(S, 32),
+                "eq1_bound@N=32": utilization_upper_bound(S, 32),
+                "PB (50k stream)": pb_utilization(S, 50_000),
+            }
+        )
+    print(format_table(rows, title="Utilization by network (paper stage "
+                                   "counts)"))
+    print()
+
+
+def delay_structure() -> None:
+    model = build_model("rn20")
+    rows = stage_delay_table(model)
+    print(f"{model.name}: {model.num_stages} stages; per-stage gradient "
+          "delay 2(S-1-s) in samples (first/last stages shown):")
+    print(format_table(rows[:5] + rows[-5:]))
+
+
+if __name__ == "__main__":
+    schedules()
+    utilization_table()
+    delay_structure()

@@ -1,0 +1,41 @@
+"""Global configuration for the repro package.
+
+Only two knobs live here; everything else is explicit function arguments.
+
+``DEFAULT_DTYPE``
+    dtype used for parameters and tensors created from Python scalars/lists.
+    ``float64`` by default: the reproduction favours analysis-grade numerics
+    (exact-equivalence tests between optimizers and the pipeline executor)
+    over raw speed.  Benches that want speed can pass ``dtype=np.float32``
+    explicitly.
+
+``bench_scale()``
+    Reads the ``REPRO_SCALE`` environment variable, used by the benchmark
+    harness to pick between fast (``"bench"``, default) and full
+    (``"paper"``) experiment sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float64
+
+#: Valid values for the REPRO_SCALE environment variable.
+SCALES = ("bench", "paper")
+
+
+def bench_scale() -> str:
+    """Return the experiment scale requested via ``REPRO_SCALE``.
+
+    Returns ``"bench"`` (fast, minutes for the whole suite) unless the
+    environment selects ``"paper"`` (full architectures / schedules).
+    """
+    scale = os.environ.get("REPRO_SCALE", "bench").strip().lower()
+    if scale not in SCALES:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {SCALES}, got {scale!r}"
+        )
+    return scale

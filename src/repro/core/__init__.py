@@ -1,0 +1,47 @@
+"""The paper's contribution: delay mitigation for pipelined backpropagation.
+
+* :mod:`~repro.core.compensation` — Spike Compensation coefficients
+  (eq. 14; generalized form eq. 12).
+* :mod:`~repro.core.prediction` — Linear Weight Prediction in velocity and
+  weight-difference form (eqs. 18-19), plus the SpecTrain-style extended
+  horizon (Appendix C).
+* :mod:`~repro.core.mitigation` — :class:`MitigationConfig`, bundling
+  spike compensation, weight prediction, weight stashing, and the
+  gradient-shrinking baseline into one declarative object with the paper's
+  named presets.
+* :mod:`~repro.core.staleness` — delay profiles (constant, per-parameter /
+  per-stage, random ASGD-style).
+* :mod:`~repro.core.delayed_sgd` — :class:`DelayedSGDM`, the Appendix-G.2
+  delay simulator: trains any model with stale gradients, consistent or
+  inconsistent weights, and any mitigation, without a pipeline.
+"""
+
+from repro.core.compensation import SpikeConfig, spike_coefficients
+from repro.core.prediction import (
+    PredictionConfig,
+    predict_velocity_form,
+    predict_weight_diff_form,
+)
+from repro.core.mitigation import MitigationConfig
+from repro.core.staleness import (
+    ConstantDelay,
+    PerParamDelay,
+    RandomDelay,
+    DelayProfile,
+)
+from repro.core.delayed_sgd import DelayedSGDM, delayed_train_step
+
+__all__ = [
+    "SpikeConfig",
+    "spike_coefficients",
+    "PredictionConfig",
+    "predict_velocity_form",
+    "predict_weight_diff_form",
+    "MitigationConfig",
+    "ConstantDelay",
+    "PerParamDelay",
+    "RandomDelay",
+    "DelayProfile",
+    "DelayedSGDM",
+    "delayed_train_step",
+]

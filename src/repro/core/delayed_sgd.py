@@ -1,0 +1,202 @@
+"""The Appendix-G.2 delay simulator: ``DelayedSGDM``.
+
+Trains any model with *stale gradients* without constructing a pipeline:
+
+1. ``load_forward_weights()`` — loads each parameter with the weights from
+   ``D`` steps ago (optionally advanced by weight prediction);
+2. the caller runs forward and builds the loss;
+3. ``prepare_backward()`` — for **inconsistent** runs (real PB semantics
+   without weight stashing) reloads the *current* master weights so the
+   backward pass uses them (the autodiff engine reads parameter values
+   lazily, see :mod:`repro.tensor`); **consistent** runs (= weight
+   stashing) keep the stale weights;
+4. the caller backprops;
+5. ``step()`` — applies the (possibly spike-compensated) update to the
+   master weights and pushes a history snapshot.
+
+Delays come from a :class:`~repro.core.staleness.DelayProfile`: constant
+(controlled studies), per-parameter (emulating per-stage pipeline delays),
+or random (ASGD).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.history import ParamHistory
+from repro.core.mitigation import MitigationConfig
+from repro.core.prediction import (
+    predict_velocity_form,
+    predict_weight_diff_form,
+)
+from repro.core.staleness import ConstantDelay, DelayProfile
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor, cross_entropy
+
+
+class DelayedSGDM:
+    """Momentum SGD with simulated gradient delay and mitigation.
+
+    Parameters
+    ----------
+    params:
+        Model parameters (or a :class:`Module`).
+    lr, momentum, weight_decay:
+        SGDM hyperparameters (eqs. 7-8); ``lr`` may be reassigned between
+        steps by an LR schedule.
+    delay:
+        Integer (constant) or a :class:`DelayProfile`.
+    mitigation:
+        A :class:`MitigationConfig`; the default is plain delayed SGDM.
+    consistent:
+        ``True`` = the same stale weights are used on forward and backward
+        ("Consistent Delay" in Figure 10; equivalent to weight stashing).
+        ``False`` = forward uses stale weights, backward uses current ones
+        ("Forward Delay Only" / PB without stashing).  A mitigation with
+        ``weight_stashing=True`` forces consistency.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter] | Module,
+        lr: float,
+        momentum: float = 0.0,
+        delay: int | DelayProfile = 0,
+        mitigation: MitigationConfig | None = None,
+        consistent: bool = True,
+        weight_decay: float = 0.0,
+    ):
+        if isinstance(params, Module):
+            params = params.parameters()
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.profile: DelayProfile = (
+            ConstantDelay(delay) if isinstance(delay, int) else delay
+        )
+        self.mitigation = mitigation or MitigationConfig.none()
+        self.consistent = bool(consistent) or self.mitigation.weight_stashing
+        self.t = 0
+
+        max_d = self.profile.max_delay()
+        self._velocity: dict[int, np.ndarray] = {}
+        self._history: dict[int, ParamHistory] = {}
+        self._master: dict[int, np.ndarray] = {}
+        self._loaded = False
+        for p in self.params:
+            pid = id(p)
+            self._velocity[pid] = np.zeros_like(p.data)
+            hist = ParamHistory(maxlen=max_d + 2)
+            hist.push(p.data, self._velocity[pid])
+            self._history[pid] = hist
+
+    # -- step phases -----------------------------------------------------
+
+    def begin_step(self) -> None:
+        """Start a step: sample random delays, snapshot master weights."""
+        self.profile.begin_step(self.t)
+        for p in self.params:
+            self._master[id(p)] = p.data
+        self._loaded = True
+
+    def load_forward_weights(self) -> None:
+        """Load each parameter with its (possibly predicted) stale value."""
+        if not self._loaded:
+            self.begin_step()
+        pred = self.mitigation.prediction
+        for p in self.params:
+            pid = id(p)
+            d = self.profile.delay_for(pid, self.t)
+            w_old, v_old = self._history[pid].get(d)
+            if pred.kind == "none":
+                p.data = w_old.copy()
+            elif pred.kind in ("lwp_v", "spectrain"):
+                horizon = pred.forward_horizon(d)
+                p.data = predict_velocity_form(w_old, v_old, self.lr, horizon)
+            elif pred.kind == "lwp_w":
+                horizon = pred.forward_horizon(d)
+                w_prev, _ = self._history[pid].get(d + 1)
+                p.data = predict_weight_diff_form(w_old, w_prev, horizon)
+            else:  # pragma: no cover - guarded by PredictionConfig
+                raise AssertionError(pred.kind)
+
+    def prepare_backward(self) -> None:
+        """Select the weights the backward pass will read."""
+        if not self._loaded:
+            raise RuntimeError("call load_forward_weights() before backward")
+        pred = self.mitigation.prediction
+        if self.consistent:
+            return  # keep the forward (stale/predicted) weights
+        for p in self.params:
+            pid = id(p)
+            master = self._master[pid]
+            if pred.kind == "spectrain":
+                # re-predict at backward time from the current state
+                horizon = pred.backward_horizon()
+                p.data = predict_velocity_form(
+                    master, self._velocity[pid], self.lr, horizon
+                )
+            else:
+                p.data = master
+
+    def step(self) -> None:
+        """Apply the (compensated) update to master weights; advance time."""
+        if not self._loaded:
+            raise RuntimeError("step() without load_forward_weights()")
+        m = self.momentum
+        for p in self.params:
+            pid = id(p)
+            master = self._master[pid]
+            d = self.profile.delay_for(pid, self.t)
+            v = self._velocity[pid]
+            if p.grad is not None:
+                g = p.grad.astype(master.dtype, copy=False)
+                if self.weight_decay:
+                    g = g + self.weight_decay * master
+                shrink = self.mitigation.shrink_factor(m, d)
+                if shrink != 1.0:
+                    g = g * shrink
+                v *= m
+                v += g
+                a, b = self.mitigation.spike_coefficients(m, d)
+                update = a * v if b == 0.0 else a * v + b * g
+                p.data = master - self.lr * update
+            else:
+                p.data = master
+            self._history[pid].push(p.data, v)
+            p.grad = None
+        self.t += 1
+        self._loaded = False
+        self._master.clear()
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def velocity(self, p: Parameter) -> np.ndarray:
+        return self._velocity[id(p)]
+
+
+def delayed_train_step(
+    optimizer: DelayedSGDM,
+    model: Module,
+    x: np.ndarray | Tensor,
+    y: np.ndarray | Sequence[int],
+) -> float:
+    """One full simulator step on a (batched) sample; returns the loss."""
+    optimizer.begin_step()
+    optimizer.load_forward_weights()
+    logits = model(x if isinstance(x, Tensor) else Tensor(x))
+    loss = cross_entropy(logits, y)
+    optimizer.prepare_backward()
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return float(loss.data)

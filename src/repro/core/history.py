@@ -1,0 +1,46 @@
+"""Ring buffers of past (weight, velocity) snapshots per parameter.
+
+The delay simulator (Appendix G.2) "has a buffer of old parameter values";
+each entry here pairs the post-update weights ``w_t`` with the velocity
+``v_t`` that produced them (``w_t = w_{t-1} - lr * v_t``), which is exactly
+the pairing eqs. 18/19 rely on for the two LWP forms to coincide under
+plain SGDM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class ParamHistory:
+    """Bounded history of (weights, velocity) snapshots for one parameter."""
+
+    def __init__(self, maxlen: int):
+        if maxlen < 1:
+            raise ValueError("history needs maxlen >= 1")
+        self._buf: deque[tuple[np.ndarray, np.ndarray]] = deque(maxlen=maxlen)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def push(self, w: np.ndarray, v: np.ndarray) -> None:
+        """Store copies of the post-update state."""
+        self._buf.append((w.copy(), v.copy()))
+
+    def get(self, steps_back: int) -> tuple[np.ndarray, np.ndarray]:
+        """Snapshot from ``steps_back`` updates ago (0 = most recent).
+
+        Clamped to the oldest available entry — this mirrors the pipeline
+        fill phase, during which a stage has seen fewer updates than its
+        structural delay.
+        """
+        if not self._buf:
+            raise RuntimeError("history is empty; push the initial state first")
+        idx = min(int(steps_back), len(self._buf) - 1)
+        return self._buf[-1 - idx]
+
+    @property
+    def maxlen(self) -> int:
+        return self._buf.maxlen  # type: ignore[return-value]

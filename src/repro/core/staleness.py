@@ -1,0 +1,94 @@
+"""Delay profiles for the flat (Appendix G.2) simulator.
+
+A profile answers "how stale is the gradient for parameter ``p`` at step
+``t``?".  Three shapes cover the paper's experiments:
+
+* :class:`ConstantDelay` — the controlled studies (Figures 10, 13, 14).
+* :class:`PerParamDelay` — per-stage pipeline delays ``2(S-1-s)`` mapped
+  onto parameters (used to emulate PB without the executor; see
+  :func:`repro.pipeline.delays.pipeline_delay_profile`).
+* :class:`RandomDelay` — ASGD-style random staleness (Appendix G.2's
+  closing remark), sampled once per optimizer step.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+class DelayProfile:
+    """Interface: per-parameter, per-step gradient delay."""
+
+    def max_delay(self) -> int:
+        raise NotImplementedError
+
+    def begin_step(self, t: int) -> None:
+        """Hook called once per optimizer step (used by random profiles)."""
+
+    def delay_for(self, param_id: int, t: int) -> int:
+        raise NotImplementedError
+
+
+class ConstantDelay(DelayProfile):
+    """Every parameter delayed by the same fixed number of steps."""
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = int(delay)
+
+    def max_delay(self) -> int:
+        return self.delay
+
+    def delay_for(self, param_id: int, t: int) -> int:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self.delay})"
+
+
+class PerParamDelay(DelayProfile):
+    """Explicit mapping ``id(param) -> delay`` (e.g. per pipeline stage)."""
+
+    def __init__(self, mapping: Mapping[int, int], default: int = 0):
+        self.mapping = dict(mapping)
+        self.default = int(default)
+        if any(d < 0 for d in self.mapping.values()) or self.default < 0:
+            raise ValueError("delays must be >= 0")
+
+    def max_delay(self) -> int:
+        return max([self.default, *self.mapping.values()], default=self.default)
+
+    def delay_for(self, param_id: int, t: int) -> int:
+        return self.mapping.get(param_id, self.default)
+
+    def __repr__(self) -> str:
+        return f"PerParamDelay(n={len(self.mapping)}, max={self.max_delay()})"
+
+
+class RandomDelay(DelayProfile):
+    """Delay drawn uniformly from ``[low, high]`` once per step (ASGD)."""
+
+    def __init__(self, low: int, high: int, seed: int = 0):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+        self._rng = new_rng(seed)
+        self._current = self.low
+
+    def max_delay(self) -> int:
+        return self.high
+
+    def begin_step(self, t: int) -> None:
+        self._current = int(self._rng.integers(self.low, self.high + 1))
+
+    def delay_for(self, param_id: int, t: int) -> int:
+        return self._current
+
+    def __repr__(self) -> str:
+        return f"RandomDelay([{self.low}, {self.high}])"

@@ -1,0 +1,39 @@
+"""Standard small-image augmentation: pad-and-crop plus horizontal flip
+(the He et al. CIFAR recipe)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PadCropFlip:
+    """Random translation via zero-pad + crop, and random horizontal flip.
+
+    Vectorized over the batch; driven by the caller's generator so training
+    runs are reproducible.
+    """
+
+    def __init__(self, pad: int = 2, flip_p: float = 0.5):
+        if pad < 0:
+            raise ValueError("pad must be >= 0")
+        if not 0.0 <= flip_p <= 1.0:
+            raise ValueError("flip_p must be in [0, 1]")
+        self.pad = int(pad)
+        self.flip_p = float(flip_p)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.pad
+        if p:
+            padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+            out = np.empty_like(x)
+            offs = rng.integers(0, 2 * p + 1, size=(n, 2))
+            for i in range(n):
+                oy, ox = offs[i]
+                out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+        else:
+            out = x.copy()
+        if self.flip_p:
+            flips = rng.random(n) < self.flip_p
+            out[flips] = out[flips][..., ::-1]
+        return out

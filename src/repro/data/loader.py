@@ -1,0 +1,65 @@
+"""Batch iteration and per-sample streams over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def iterate_batches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    augment=None,
+    shuffle: bool = True,
+    drop_last: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(xb, yb)`` batches for one epoch.
+
+    ``augment`` is an optional callable ``(batch, rng) -> batch``.
+    ``drop_last`` keeps update sizes constant (important when comparing
+    against scaled hyperparameters).
+    """
+    n = x.shape[0]
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    idx = np.arange(n)
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        idx = rng.permutation(n)
+    stop = n - (n % batch_size) if drop_last else n
+    for start in range(0, stop, batch_size):
+        take = idx[start : start + batch_size]
+        xb = x[take]
+        yb = y[take]
+        if augment is not None:
+            if rng is None:
+                raise ValueError("augmentation requires an rng")
+            xb = augment(xb, rng)
+        yield xb, yb
+
+
+def sample_stream(
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int,
+    rng: np.random.Generator,
+    augment=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``epochs`` shuffled (augmented) passes into one stream.
+
+    The pipelined executor consumes samples one at a time; this produces
+    the full sample sequence for a multi-epoch run up front.
+    """
+    xs, ys = [], []
+    for _ in range(int(epochs)):
+        idx = rng.permutation(x.shape[0])
+        xb = x[idx]
+        if augment is not None:
+            xb = augment(xb, rng)
+        xs.append(xb)
+        ys.append(y[idx])
+    return np.concatenate(xs), np.concatenate(ys)

@@ -1,0 +1,18 @@
+"""One entry point per paper table/figure.
+
+Every function returns a JSON-serializable payload with the regenerated
+rows/series plus a ``meta`` block recording what the paper reports for the
+same experiment.  The benchmark harness in ``benchmarks/`` wraps these,
+prints the result, persists it under ``results/``, and asserts the paper's
+qualitative claims.
+
+``REPRO_SCALE=bench`` (default) runs seconds-scale versions —
+width-reduced models with the paper's exact per-network stage counts, and
+coarser analysis grids.  ``REPRO_SCALE=paper`` runs the full
+configurations.
+"""
+
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["Scale", "get_scale", "EXPERIMENTS", "run_experiment"]

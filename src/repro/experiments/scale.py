@@ -1,0 +1,78 @@
+"""Experiment sizing for ``bench`` and ``paper`` scales."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.optim.scaling import HyperParams
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs shared by the experiment implementations.
+
+    ``reference`` is the mini-batch SGDM configuration all runs scale from
+    (eq. 9).  The bench scale uses a hotter reference than He et al. so
+    delay effects are visible within seconds-long runs; the paper scale
+    uses the He et al. values.
+    """
+
+    name: str
+    points_per_decade: int  # quadratic analysis grid density
+    train_size: int
+    val_size: int
+    rn_image: int  # image size for ResNet-family runs
+    vgg_image: int
+    pb_samples: int  # samples streamed through the PB executor per run
+    sim_steps: int  # optimizer steps for flat-simulator runs
+    sim_batch: int
+    seeds: int
+    width_divisor: int  # VGG width reduction
+    rn_widths: tuple[int, int, int]
+    reference: HyperParams
+
+
+BENCH = Scale(
+    name="bench",
+    points_per_decade=6,
+    train_size=512,
+    val_size=256,
+    rn_image=8,
+    vgg_image=32,
+    pb_samples=1280,
+    sim_steps=120,
+    sim_batch=16,
+    seeds=1,
+    width_divisor=16,
+    rn_widths=(4, 8, 16),
+    reference=HyperParams(lr=0.5, momentum=0.9, batch_size=32,
+                          weight_decay=1e-4),
+)
+
+PAPER = Scale(
+    name="paper",
+    points_per_decade=16,
+    train_size=4096,
+    val_size=1024,
+    rn_image=32,
+    vgg_image=32,
+    pb_samples=40_000,
+    sim_steps=4000,
+    sim_batch=32,
+    seeds=5,
+    width_divisor=1,
+    rn_widths=(16, 32, 64),
+    reference=HyperParams(lr=0.1, momentum=0.9, batch_size=128,
+                          weight_decay=1e-4),
+)
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name or from ``REPRO_SCALE``."""
+    name = name or config.bench_scale()
+    if name == "bench":
+        return BENCH
+    if name == "paper":
+        return PAPER
+    raise ValueError(f"unknown scale {name!r}")

@@ -1,0 +1,185 @@
+"""Stage-graph model representation.
+
+The paper partitions networks into fine-grained pipeline stages: "we combine
+each convolution layer and its associated normalization and non-linearity
+into a single pipeline stage.  In our implementation the sum nodes between
+residual blocks also become pipeline stages" (§4).  We mirror that here: a
+model *is* a list of :class:`StageDef` entries, and
+:class:`StageGraphModel` interprets the list either as one monolithic module
+(for batch training / the Appendix-G.2 delay simulator) or hands it to
+:mod:`repro.pipeline` for cycle-accurate pipelined execution.
+
+Residual connections in a linear pipeline are modelled with a *skip stack*:
+the payload travelling between stages is ``(main, skip_0, ..., skip_k)``.
+A stage may push the block input (``push_skip="input"``, identity
+shortcuts) or the pre-activated input (``push_skip="preact"``, downsample
+shortcuts — the 1x1 conv in pre-activation ResNets consumes
+``relu(norm(x))``), a stage with ``channel=-1`` transforms the top of the
+skip stack (the downsample conv riding the skip path), and a ``sum`` stage
+pops and adds.  ResNet blocks do not nest, so stack discipline suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, relu
+
+StageKind = Literal["compute", "sum", "identity", "loss"]
+
+
+class PreActConvUnit(Module):
+    """norm -> ReLU -> conv, fused into one pipeline stage (paper §4).
+
+    :meth:`forward_parts` additionally exposes the pre-activated tensor so a
+    downsample shortcut can branch off it.
+    """
+
+    def __init__(self, norm: Module, conv: Module):
+        super().__init__()
+        self.norm = norm
+        self.conv = conv
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(relu(self.norm(x)))
+
+    def forward_parts(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Return ``(conv(preact), preact)`` where ``preact = relu(norm(x))``."""
+        o = relu(self.norm(x))
+        return self.conv(o), o
+
+
+@dataclass
+class StageDef:
+    """One pipeline stage.
+
+    Attributes
+    ----------
+    name:
+        Unique human-readable stage name.
+    kind:
+        ``"compute"`` (has a module), ``"sum"`` (residual add),
+        ``"identity"`` (structural stage occupying a pipeline slot, e.g. the
+        softmax stage in the ImageNet convention), or ``"loss"`` (terminal).
+    module:
+        The compute module; ``None`` for structural kinds.
+    channel:
+        ``0`` = transform the main activation; ``-1`` = transform the top of
+        the skip stack (downsample convs).
+    push_skip:
+        ``None``, ``"input"`` (push raw stage input), or ``"preact"``
+        (module must be :class:`PreActConvUnit`; push the pre-activation).
+    """
+
+    name: str
+    kind: StageKind = "compute"
+    module: Module | None = None
+    channel: int = 0
+    push_skip: str | None = None
+
+    def __post_init__(self):
+        if self.kind == "compute" and self.module is None:
+            raise ValueError(f"compute stage {self.name!r} needs a module")
+        if self.kind != "compute" and self.module is not None:
+            raise ValueError(f"{self.kind} stage {self.name!r} cannot hold a module")
+        if self.push_skip not in (None, "input", "preact"):
+            raise ValueError(f"bad push_skip {self.push_skip!r} on {self.name!r}")
+        if self.push_skip == "preact" and not isinstance(self.module, PreActConvUnit):
+            raise ValueError(
+                f"push_skip='preact' on {self.name!r} requires a PreActConvUnit"
+            )
+        if self.channel not in (0, -1):
+            raise ValueError(f"channel must be 0 or -1, got {self.channel}")
+
+    @property
+    def has_params(self) -> bool:
+        return self.module is not None and len(self.module.parameters()) > 0
+
+
+class StageGraphModel(Module):
+    """A model defined by a linear list of pipeline stages.
+
+    Running :meth:`forward` executes all stages sequentially (ignoring
+    structural stages), which is numerically identical to what an ideal
+    drained pipeline computes — this is the basis of the Figure-16-style
+    executor validation.
+    """
+
+    def __init__(self, stages: list[StageDef], name: str = "model"):
+        super().__init__()
+        self.name = name
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ValueError("stage names must be unique")
+        if stages and stages[-1].kind != "loss":
+            raise ValueError("the final stage must be the loss stage")
+        self.stage_defs = list(stages)
+        for i, st in enumerate(stages):
+            if st.module is not None:
+                setattr(self, f"stage{i}_{st.name}", st.module)
+
+    # -- plain execution ------------------------------------------------------
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run all stages on a batch, returning logits."""
+        main = x if isinstance(x, Tensor) else Tensor(x)
+        skips: list[Tensor] = []
+        for st in self.stage_defs:
+            if st.kind == "compute":
+                if st.channel == -1:
+                    if not skips:
+                        raise RuntimeError(f"stage {st.name!r}: empty skip stack")
+                    skips[-1] = st.module(skips[-1])
+                elif st.push_skip == "input":
+                    skips.append(main)
+                    main = st.module(main)
+                elif st.push_skip == "preact":
+                    main, preact = st.module.forward_parts(main)
+                    skips.append(preact)
+                else:
+                    main = st.module(main)
+            elif st.kind == "sum":
+                if not skips:
+                    raise RuntimeError(f"stage {st.name!r}: empty skip stack")
+                main = main + skips.pop()
+            # identity / loss stages are structural: no batch-mode compute
+        if skips:
+            raise RuntimeError(f"{len(skips)} unconsumed skip connections")
+        return main
+
+    # -- pipeline metadata ------------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        """Total pipeline stages including structural ones (paper Table 1)."""
+        return len(self.stage_defs)
+
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.stage_defs]
+
+    def param_stage_index(self) -> dict[int, int]:
+        """Map ``id(parameter) -> stage index`` for per-stage delay profiles."""
+        mapping: dict[int, int] = {}
+        for i, st in enumerate(self.stage_defs):
+            if st.module is None:
+                continue
+            for p in st.module.parameters():
+                mapping[id(p)] = i
+        return mapping
+
+    def describe(self) -> str:
+        """Human-readable stage listing."""
+        lines = [f"{self.name}: {self.num_stages} stages"]
+        for i, st in enumerate(self.stage_defs):
+            extra = ""
+            if st.push_skip:
+                extra += f" push={st.push_skip}"
+            if st.channel == -1:
+                extra += " [skip-path]"
+            nparam = (
+                sum(p.size for p in st.module.parameters()) if st.module else 0
+            )
+            lines.append(f"  [{i:3d}] {st.kind:8s} {st.name:24s} params={nparam}{extra}")
+        return "\n".join(lines)

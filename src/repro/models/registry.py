@@ -1,0 +1,60 @@
+"""Model registry: name -> builder, plus the paper's Table-1 stage counts."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.arch import StageGraphModel
+from repro.models.resnet import (
+    resnet20,
+    resnet32,
+    resnet44,
+    resnet56,
+    resnet110,
+    resnet50_tiny,
+    resnet_tiny,
+    preact_resnet50,
+)
+from repro.models.simple import mlp, small_cnn
+from repro.models.vgg import vgg11, vgg13, vgg16, vgg_tiny
+
+MODEL_BUILDERS: dict[str, Callable[..., StageGraphModel]] = {
+    "vgg11": vgg11,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "rn20": resnet20,
+    "rn32": resnet32,
+    "rn44": resnet44,
+    "rn56": resnet56,
+    "rn110": resnet110,
+    "rn50": preact_resnet50,
+    "vgg_tiny": vgg_tiny,
+    "rn_tiny": resnet_tiny,
+    "rn50_tiny": resnet50_tiny,
+    "small_cnn": small_cnn,
+}
+
+#: Pipeline stage counts reported in the paper (Table 1 + §4 for RN50).
+PAPER_STAGE_COUNTS: dict[str, int] = {
+    "vgg11": 29,
+    "vgg13": 33,
+    "vgg16": 39,
+    "rn20": 34,
+    "rn32": 52,
+    "rn44": 70,
+    "rn56": 88,
+    "rn110": 169,
+    "rn50": 78,
+}
+
+
+def build_model(name: str, **kwargs) -> StageGraphModel:
+    """Build a registered model by name."""
+    if name not in MODEL_BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        )
+    return MODEL_BUILDERS[name](**kwargs)
+
+
+__all__ = ["MODEL_BUILDERS", "PAPER_STAGE_COUNTS", "build_model", "mlp"]

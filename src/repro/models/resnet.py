@@ -1,0 +1,286 @@
+"""Pre-activation ResNets (He et al. 2016b) as stage graphs.
+
+CIFAR family (ResNet-20/32/44/56/110): 3 groups of ``n`` basic blocks with
+widths (16, 32, 64); batch norm replaced by group norm (group size two) per
+the paper.  Stage convention (reproduces Table 1 exactly, ``3B + 7`` stages
+for ``B`` total blocks):
+
+* stem conv — 1 stage;
+* each block — 2 fused norm-relu-conv stages + 1 sum stage;
+* the two group transitions — 1 downsample-conv stage each (skip path);
+* tail — final norm+relu, global average pool, fc, loss — 4 stages.
+
+ImageNet family (ResNet-50): 16 bottleneck blocks [3,4,6,3]; convention
+(78 stages): stem = conv / norm / relu / maxpool (4), blocks = 3 fused conv
+stages + sum (64), 4 downsample convs, tail = norm, relu, pool, fc,
+softmax, loss (6).  The 3x3-stride-2 stem max-pool of the reference model
+is replaced by a 2x2 pool (our pooling kernels are non-overlapping); this
+changes FLOPs slightly but not the pipeline structure.
+
+``resnet_tiny`` / ``resnet50_tiny`` are width/depth-reduced versions with
+the same stage *conventions*, used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.arch import PreActConvUnit, StageDef, StageGraphModel
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    group_norm_for,
+)
+from repro.utils.rng import derive_seed, new_rng
+
+
+def _conv(rng_seed: int, *args, **kwargs) -> Conv2d:
+    return Conv2d(*args, bias=False, rng=new_rng(rng_seed), **kwargs)
+
+
+def preact_resnet_cifar(
+    blocks_per_group: int,
+    widths: tuple[int, int, int] = (16, 32, 64),
+    num_classes: int = 10,
+    in_channels: int = 3,
+    group_size: int = 2,
+    seed: int = 0,
+    name: str | None = None,
+) -> StageGraphModel:
+    """Build a CIFAR pre-activation ResNet stage graph.
+
+    ``depth = 6 * blocks_per_group + 2`` (ResNet-20 has
+    ``blocks_per_group=3``).
+    """
+    stages: list[StageDef] = []
+    sid = 0
+
+    def seed_next() -> int:
+        nonlocal sid
+        sid += 1
+        return derive_seed(seed, "resnet", sid)
+
+    stages.append(
+        StageDef(
+            "stem_conv",
+            module=_conv(seed_next(), in_channels, widths[0], 3, padding=1),
+        )
+    )
+    ch = widths[0]
+    for g, width in enumerate(widths):
+        for b in range(blocks_per_group):
+            stride = 2 if (g > 0 and b == 0) else 1
+            transition = stride != 1 or ch != width
+            tag = f"g{g}b{b}"
+            if transition:
+                unit1 = PreActConvUnit(
+                    group_norm_for(ch, group_size),
+                    _conv(seed_next(), ch, width, 3, stride=stride, padding=1),
+                )
+                stages.append(
+                    StageDef(f"{tag}_conv1", module=unit1, push_skip="preact")
+                )
+                stages.append(
+                    StageDef(
+                        f"{tag}_downsample",
+                        module=_conv(seed_next(), ch, width, 1, stride=stride),
+                        channel=-1,
+                    )
+                )
+            else:
+                unit1 = PreActConvUnit(
+                    group_norm_for(ch, group_size),
+                    _conv(seed_next(), ch, width, 3, padding=1),
+                )
+                stages.append(
+                    StageDef(f"{tag}_conv1", module=unit1, push_skip="input")
+                )
+            unit2 = PreActConvUnit(
+                group_norm_for(width, group_size),
+                _conv(seed_next(), width, width, 3, padding=1),
+            )
+            stages.append(StageDef(f"{tag}_conv2", module=unit2))
+            stages.append(StageDef(f"{tag}_sum", kind="sum"))
+            ch = width
+
+    stages.append(
+        StageDef(
+            "final_norm_relu",
+            module=Sequential(group_norm_for(ch, group_size), ReLU()),
+        )
+    )
+    stages.append(StageDef("global_pool", module=GlobalAvgPool()))
+    stages.append(
+        StageDef(
+            "fc", module=Linear(ch, num_classes, rng=new_rng(seed_next()))
+        )
+    )
+    stages.append(StageDef("loss", kind="loss"))
+    depth = 6 * blocks_per_group + 2
+    return StageGraphModel(stages, name=name or f"resnet{depth}")
+
+
+def preact_resnet50(
+    layers: tuple[int, int, int, int] = (3, 4, 6, 3),
+    widths: tuple[int, int, int, int] = (64, 128, 256, 512),
+    expansion: int = 4,
+    num_classes: int = 1000,
+    in_channels: int = 3,
+    group_size: int = 2,
+    stem_stride: int = 2,
+    stem_kernel: int = 7,
+    seed: int = 0,
+    name: str | None = None,
+) -> StageGraphModel:
+    """Build a bottleneck pre-activation ResNet (ImageNet convention).
+
+    ``stem_stride=1`` / ``stem_kernel=3`` keep small (bench-scale) inputs
+    viable and the stem gradient in range without changing the stage
+    structure.
+    """
+    stages: list[StageDef] = []
+    sid = 0
+
+    def seed_next() -> int:
+        nonlocal sid
+        sid += 1
+        return derive_seed(seed, "resnet50", sid)
+
+    stem_w = widths[0]
+    stages.append(
+        StageDef(
+            "stem_conv",
+            module=_conv(
+                seed_next(), in_channels, stem_w, stem_kernel,
+                stride=stem_stride, padding=stem_kernel // 2,
+            ),
+        )
+    )
+    stages.append(StageDef("stem_norm", module=group_norm_for(stem_w, group_size)))
+    stages.append(StageDef("stem_relu", module=ReLU()))
+    stages.append(StageDef("stem_pool", module=MaxPool2d(2)))
+
+    ch = stem_w
+    for g, (n_blocks, width) in enumerate(zip(layers, widths)):
+        out_ch = width * expansion
+        for b in range(n_blocks):
+            stride = 2 if (g > 0 and b == 0) else 1
+            transition = stride != 1 or ch != out_ch
+            tag = f"g{g}b{b}"
+            if transition:
+                unit1 = PreActConvUnit(
+                    group_norm_for(ch, group_size),
+                    _conv(seed_next(), ch, width, 1),
+                )
+                stages.append(
+                    StageDef(f"{tag}_conv1", module=unit1, push_skip="preact")
+                )
+                stages.append(
+                    StageDef(
+                        f"{tag}_downsample",
+                        module=_conv(seed_next(), ch, out_ch, 1, stride=stride),
+                        channel=-1,
+                    )
+                )
+            else:
+                unit1 = PreActConvUnit(
+                    group_norm_for(ch, group_size),
+                    _conv(seed_next(), ch, width, 1),
+                )
+                stages.append(
+                    StageDef(f"{tag}_conv1", module=unit1, push_skip="input")
+                )
+            unit2 = PreActConvUnit(
+                group_norm_for(width, group_size),
+                _conv(seed_next(), width, width, 3, stride=stride, padding=1),
+            )
+            stages.append(StageDef(f"{tag}_conv2", module=unit2))
+            unit3 = PreActConvUnit(
+                group_norm_for(width, group_size),
+                _conv(seed_next(), width, out_ch, 1),
+            )
+            stages.append(StageDef(f"{tag}_conv3", module=unit3))
+            stages.append(StageDef(f"{tag}_sum", kind="sum"))
+            ch = out_ch
+
+    stages.append(StageDef("final_norm", module=group_norm_for(ch, group_size)))
+    stages.append(StageDef("final_relu", module=ReLU()))
+    stages.append(StageDef("global_pool", module=GlobalAvgPool()))
+    stages.append(
+        StageDef("fc", module=Linear(ch, num_classes, rng=new_rng(seed_next())))
+    )
+    stages.append(StageDef("softmax", kind="identity"))
+    stages.append(StageDef("loss", kind="loss"))
+    return StageGraphModel(stages, name=name or "resnet50")
+
+
+# -- paper-size constructors -----------------------------------------------
+
+
+def resnet20(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """Pre-activation ResNet-20 for CIFAR (paper Table 1)."""
+    return preact_resnet_cifar(3, num_classes=num_classes, seed=seed, **kw)
+
+
+def resnet32(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """Pre-activation ResNet-32 for CIFAR (paper Table 1)."""
+    return preact_resnet_cifar(5, num_classes=num_classes, seed=seed, **kw)
+
+
+def resnet44(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """Pre-activation ResNet-44 for CIFAR (paper Table 1)."""
+    return preact_resnet_cifar(7, num_classes=num_classes, seed=seed, **kw)
+
+
+def resnet56(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """Pre-activation ResNet-56 for CIFAR (paper Table 1)."""
+    return preact_resnet_cifar(9, num_classes=num_classes, seed=seed, **kw)
+
+
+def resnet110(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """Pre-activation ResNet-110 for CIFAR (paper Table 1)."""
+    return preact_resnet_cifar(18, num_classes=num_classes, seed=seed, **kw)
+
+
+# -- bench-scale constructors ------------------------------------------------
+
+
+def resnet_tiny(
+    num_classes: int = 10,
+    blocks_per_group: int = 1,
+    widths: tuple[int, int, int] = (8, 16, 32),
+    seed: int = 0,
+    **kw,
+) -> StageGraphModel:
+    """Depth/width-reduced CIFAR ResNet with the same stage conventions."""
+    return preact_resnet_cifar(
+        blocks_per_group,
+        widths=widths,
+        num_classes=num_classes,
+        seed=seed,
+        name=f"resnet_tiny{6 * blocks_per_group + 2}",
+        **kw,
+    )
+
+
+def resnet50_tiny(
+    num_classes: int = 10,
+    layers: tuple[int, int, int, int] = (1, 1, 1, 1),
+    widths: tuple[int, int, int, int] = (8, 16, 24, 32),
+    seed: int = 0,
+    **kw,
+) -> StageGraphModel:
+    """Reduced bottleneck ResNet with the ImageNet stage conventions."""
+    return preact_resnet50(
+        layers=layers,
+        widths=widths,
+        expansion=2,
+        num_classes=num_classes,
+        seed=seed,
+        name="resnet50_tiny",
+        **kw,
+    )

@@ -1,0 +1,158 @@
+"""VGG networks for CIFAR (Simonyan & Zisserman 2014, Fu 2019 CIFAR config).
+
+Stage convention (reproduces Table 1 exactly: ``2*convs + 13`` stages):
+each conv contributes two stages (conv / norm+relu), each of the five
+max-pools is a stage, and the classifier follows the Fu (2019) layout —
+Dropout, Linear(512,512), ReLU, Dropout, Linear(512,512), ReLU,
+Linear(512,classes) — one stage per op (7) plus the loss stage.
+
+The paper's batch-size-one setting precludes batch norm; we attach group
+norm to each conv stage by default (``with_norm=False`` recovers the plain
+Fu configuration; stage counts are unchanged because the norm fuses into
+the relu stage).
+"""
+
+from __future__ import annotations
+
+from repro.models.arch import StageDef, StageGraphModel
+from repro.nn import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    group_norm_for,
+)
+from repro.utils.rng import derive_seed, new_rng
+
+#: Feature configurations: ints are conv output channels, "M" is max-pool.
+VGG_CONFIGS: dict[str, list] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M",
+              512, 512, 512, "M"],
+    # bench-scale config: 4 convs, 3 pools, narrow
+    "vgg_tiny": [8, "M", 16, "M", 16, 16, "M"],
+}
+
+
+def build_vgg(
+    cfg_name: str,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    image_size: int = 32,
+    with_norm: bool = True,
+    group_size: int = 2,
+    hidden: int = 512,
+    dropout_p: float = 0.5,
+    width_divisor: int = 1,
+    seed: int = 0,
+    name: str | None = None,
+) -> StageGraphModel:
+    """Build a VGG stage graph from a named feature configuration.
+
+    ``image_size`` fixes the classifier input width (each "M" halves the
+    spatial dims); for the standard 32x32 CIFAR input the features pool to
+    1x1 and the classifier input equals the final channel count (512).
+
+    ``width_divisor`` shrinks every conv width (floor 4) without changing
+    the stage structure — used by the bench-scale experiments, which must
+    preserve the paper's per-network pipeline depths (Table 1) while
+    staying CPU-friendly.
+    """
+    cfg = VGG_CONFIGS[cfg_name]
+    if width_divisor > 1:
+        cfg = [c if c == "M" else max(4, int(c) // width_divisor) for c in cfg]
+    stages: list[StageDef] = []
+    sid = 0
+
+    def seed_next() -> int:
+        nonlocal sid
+        sid += 1
+        return derive_seed(seed, "vgg", sid)
+
+    ch = in_channels
+    conv_i = 0
+    pool_i = 0
+    for item in cfg:
+        if item == "M":
+            stages.append(StageDef(f"pool{pool_i}", module=MaxPool2d(2)))
+            pool_i += 1
+            continue
+        out_ch = int(item)
+        stages.append(
+            StageDef(
+                f"conv{conv_i}",
+                module=Conv2d(
+                    ch, out_ch, 3, padding=1, bias=not with_norm,
+                    rng=new_rng(seed_next()),
+                ),
+            )
+        )
+        post = (
+            Sequential(group_norm_for(out_ch, group_size), ReLU())
+            if with_norm
+            else ReLU()
+        )
+        stages.append(StageDef(f"post{conv_i}", module=post))
+        ch = out_ch
+        conv_i += 1
+
+    # classifier: Fu (2019) layout, one stage per op; the flatten is fused
+    # into the first dropout stage (structural reshape, no pipeline slot).
+    spatial = image_size // (2**pool_i)
+    if spatial < 1:
+        raise ValueError(
+            f"image_size {image_size} too small for {pool_i} pooling stages"
+        )
+    feat = ch * spatial * spatial
+    hidden_dim = hidden
+    stages.append(
+        StageDef(
+            "drop0",
+            module=Sequential(Flatten(), Dropout(dropout_p, seed=seed_next())),
+        )
+    )
+    stages.append(
+        StageDef("fc0", module=Linear(feat, hidden_dim, rng=new_rng(seed_next())))
+    )
+    stages.append(StageDef("fc0_relu", module=ReLU()))
+    stages.append(StageDef("drop1", module=Dropout(dropout_p, seed=seed_next())))
+    stages.append(
+        StageDef(
+            "fc1", module=Linear(hidden_dim, hidden_dim, rng=new_rng(seed_next()))
+        )
+    )
+    stages.append(StageDef("fc1_relu", module=ReLU()))
+    stages.append(
+        StageDef(
+            "fc2", module=Linear(hidden_dim, num_classes, rng=new_rng(seed_next()))
+        )
+    )
+    stages.append(StageDef("loss", kind="loss"))
+    return StageGraphModel(stages, name=name or cfg_name)
+
+
+def vgg11(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """VGG-11 for CIFAR with the paper stage convention."""
+    return build_vgg("vgg11", num_classes=num_classes, seed=seed, **kw)
+
+
+def vgg13(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """VGG-13 for CIFAR with the paper stage convention."""
+    return build_vgg("vgg13", num_classes=num_classes, seed=seed, **kw)
+
+
+def vgg16(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """VGG-16 for CIFAR with the paper stage convention."""
+    return build_vgg("vgg16", num_classes=num_classes, seed=seed, **kw)
+
+
+def vgg_tiny(num_classes: int = 10, seed: int = 0, **kw) -> StageGraphModel:
+    """Bench-scale VGG (4 convs): for 16x16 inputs pools to 2x2 spatially."""
+    kw.setdefault("hidden", 32)
+    kw.setdefault("dropout_p", 0.1)
+    kw.setdefault("image_size", 16)
+    return build_vgg("vgg_tiny", num_classes=num_classes, seed=seed, **kw)

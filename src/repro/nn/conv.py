@@ -1,0 +1,56 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.ops_conv import conv2d
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import new_rng
+
+
+class Conv2d(Module):
+    """Conv layer (NCHW); square kernel/stride/padding.
+
+    ``bias=False`` by default when followed by a normalization layer is the
+    caller's choice (the model zoo does this, matching the reference
+    ResNet/VGG implementations).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else new_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), rng
+            )
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}->{self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,39 @@
+"""Inverted dropout with an explicit, reseedable random stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import new_rng
+
+
+class Dropout(Module):
+    """Inverted dropout: train-time mask scaled by ``1/(1-p)``; eval = id.
+
+    The mask stream comes from the module's own generator so training runs
+    are reproducible; call :meth:`reseed` to restart the stream.
+    """
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._seed = seed
+        self._rng = new_rng(seed)
+
+    def reseed(self, seed: int | None = None) -> None:
+        self._seed = self._seed if seed is None else seed
+        self._rng = new_rng(self._seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

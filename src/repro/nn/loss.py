@@ -1,0 +1,32 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, cross_entropy
+
+
+class CrossEntropyLoss(Module):
+    """Fused softmax cross-entropy over integer labels."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, labels) -> Tensor:
+        return cross_entropy(logits, labels, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        diff = pred - target
+        sq = diff * diff
+        return sq.mean() if self.reduction == "mean" else sq.sum()

@@ -1,0 +1,42 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.ops_conv import avg_pool2d, max_pool2d
+from repro.tensor.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel})"
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel})"
+
+
+class GlobalAvgPool(Module):
+    """Average over all spatial positions: NCHW -> NC."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

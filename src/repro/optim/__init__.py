@@ -1,0 +1,29 @@
+"""Optimizers, LR schedules, and the paper's batch-size scaling rules."""
+
+from repro.optim.sgd import SGDM
+from repro.optim.scaling import (
+    HyperParams,
+    HE_CIFAR_REFERENCE,
+    HE_IMAGENET_REFERENCE,
+    scale_for_batch_size,
+    momentum_half_life_samples,
+    per_sample_contribution,
+)
+from repro.optim.lr_schedule import (
+    ConstantSchedule,
+    StepSchedule,
+    WarmupSchedule,
+)
+
+__all__ = [
+    "SGDM",
+    "HyperParams",
+    "HE_CIFAR_REFERENCE",
+    "HE_IMAGENET_REFERENCE",
+    "scale_for_batch_size",
+    "momentum_half_life_samples",
+    "per_sample_contribution",
+    "ConstantSchedule",
+    "StepSchedule",
+    "WarmupSchedule",
+]

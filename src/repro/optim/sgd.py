@@ -1,0 +1,85 @@
+"""SGD with momentum in the paper's velocity form (eqs. 7-8).
+
+    v_{t+1} = m * v_t + g_t
+    w_{t+1} = w_t - lr * v_{t+1}
+
+No dampening; optional decoupled-from-loss L2 weight decay folded into the
+gradient (``g += wd * w``), matching the reference He et al. setup.  An
+optional Nesterov variant (update ``m*v_{t+1} + g_t``) is included because
+the paper's quadratic analysis compares against it — note Nesterov is
+exactly generalized spike compensation with ``a=m, b=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGDM:
+    """Momentum SGD over a list of parameters."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.params
+        }
+
+    def velocity(self, p: Parameter) -> np.ndarray:
+        """The current velocity buffer for parameter ``p``."""
+        return self._velocity[id(p)]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one update using accumulated ``.grad`` fields."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v = self._velocity[id(p)]
+            v *= self.momentum
+            v += g
+            update = self.momentum * v + g if self.nesterov else v
+            p.data = p.data - self.lr * update
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "nesterov": self.nesterov,
+            "velocity": [self._velocity[id(p)].copy() for p in self.params],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.momentum = state["momentum"]
+        self.weight_decay = state["weight_decay"]
+        self.nesterov = state["nesterov"]
+        for p, v in zip(self.params, state["velocity"]):
+            self._velocity[id(p)] = v.copy()

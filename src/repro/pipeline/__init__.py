@@ -1,0 +1,65 @@
+"""Fine-grained pipeline-parallel training substrate.
+
+* :mod:`~repro.pipeline.delays` — the per-stage delay law
+  ``D_s = 2(S-1-s)`` and its projection onto flat delay profiles.
+* :mod:`~repro.pipeline.stage` — a pipeline stage: module segment +
+  per-stage optimizer state + activation/weight stash.
+* :mod:`~repro.pipeline.executor` — cycle-accurate pipelined
+  backpropagation (and fill-and-drain SGD) over a
+  :class:`~repro.models.arch.StageGraphModel`.
+* :mod:`~repro.pipeline.schedule` — occupancy-grid timing model for
+  Figures 1-2.
+* :mod:`~repro.pipeline.utilization` — closed-form utilization (eq. 1).
+* :mod:`~repro.pipeline.partition` — stage-graph validation and the
+  Table-1 stage-count accounting.
+"""
+
+from repro.pipeline.delays import (
+    stage_delay,
+    pipeline_delay_profile,
+    max_pipeline_delay,
+    stage_delay_table,
+)
+from repro.pipeline.stage import PipelineStage
+from repro.pipeline.executor import PipelineExecutor, PipelineRunStats
+from repro.pipeline.schedule import (
+    pb_occupancy,
+    fill_drain_occupancy,
+    render_occupancy,
+    schedule_utilization,
+)
+from repro.pipeline.utilization import (
+    fill_drain_utilization,
+    pb_utilization,
+    utilization_upper_bound,
+)
+from repro.pipeline.partition import validate_stage_graph, stage_flow_graph
+from repro.pipeline.costs import (
+    pipeline_cost_model,
+    batch_parallel_activation_elements,
+    data_parallel_comm_per_update,
+    pipeline_comm_per_step,
+)
+
+__all__ = [
+    "stage_delay",
+    "pipeline_delay_profile",
+    "max_pipeline_delay",
+    "stage_delay_table",
+    "PipelineStage",
+    "PipelineExecutor",
+    "PipelineRunStats",
+    "pb_occupancy",
+    "fill_drain_occupancy",
+    "render_occupancy",
+    "schedule_utilization",
+    "fill_drain_utilization",
+    "pb_utilization",
+    "utilization_upper_bound",
+    "validate_stage_graph",
+    "stage_flow_graph",
+    "pipeline_cost_model",
+    "batch_parallel_activation_elements",
+    "data_parallel_comm_per_update",
+    "pipeline_comm_per_step",
+]

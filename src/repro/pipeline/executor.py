@@ -1,0 +1,231 @@
+"""Cycle-accurate pipelined-backpropagation executor (the "GProp" role).
+
+Discrete-time simulation of the paper's fine-grained pipeline: at each time
+step every stage performs at most one forward and one backward
+transformation; activations travel one stage per step; the last stage
+computes the loss and seeds the backward pass in the same step, so a sample
+occupies ``2S - 1`` steps (paper §2).
+
+Two modes:
+
+* ``"pb"`` — pipelined backpropagation: continuous injection, each stage
+  updates its weights the moment a gradient arrives (update size one).
+  Weight versions then follow eq. 5 exactly: the forward pass of sample
+  ``i`` at stage ``s`` sees weights with ``max(0, i - 2(S-1-s))`` updates
+  applied (property-tested).
+* ``"fill_drain"`` — pipeline-parallel mini-batch SGD: inject ``N``
+  samples, drain completely, apply the averaged update, repeat.  This is
+  numerically identical to sequential mini-batch SGDM (the Figure-16
+  validation) and exposes the fill/drain utilization penalty of eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.mitigation import MitigationConfig
+from repro.models.arch import StageGraphModel
+from repro.pipeline.stage import PipelineStage
+
+
+def softmax_xent_grad(
+    logits: np.ndarray, label: int
+) -> tuple[float, np.ndarray]:
+    """Fused CE loss and dL/dlogits for a single sample ``(1, K)``."""
+    z = logits.reshape(1, -1)
+    zmax = z.max(axis=1, keepdims=True)
+    shifted = z - zmax
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - lse
+    loss = -float(log_probs[0, int(label)])
+    grad = np.exp(log_probs)
+    grad[0, int(label)] -= 1.0
+    return loss, grad.reshape(logits.shape)
+
+
+@dataclass
+class PipelineRunStats:
+    """Outcome of one executor run."""
+
+    losses: np.ndarray
+    time_steps: int
+    forward_ops: int
+    backward_ops: int
+    num_stages: int
+    samples: int
+    updates_per_stage: list[int] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker-step capacity used (each worker can do one F
+        and one B per step)."""
+        capacity = 2.0 * self.num_stages * max(self.time_steps, 1)
+        return (self.forward_ops + self.backward_ops) / capacity
+
+    @property
+    def mean_loss(self) -> float:
+        return float(self.losses.mean()) if self.losses.size else float("nan")
+
+
+class PipelineExecutor:
+    """Drive a :class:`StageGraphModel` through the pipeline, updating the
+    model's parameters in place (they are shared with the stages)."""
+
+    def __init__(
+        self,
+        model: StageGraphModel,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        mitigation: MitigationConfig | None = None,
+        mode: str = "pb",
+        update_size: int = 1,
+        lr_schedule: Callable[[int], float] | None = None,
+        record_versions: bool = False,
+    ):
+        if mode not in ("pb", "fill_drain"):
+            raise ValueError(f"mode must be 'pb' or 'fill_drain', got {mode!r}")
+        if mode == "fill_drain" and update_size < 1:
+            raise ValueError("fill_drain needs update_size >= 1")
+        specs = model.stage_defs
+        if not specs or specs[-1].kind != "loss":
+            raise ValueError("model must end with a loss stage")
+        self.model = model
+        self.mode = mode
+        self.update_size = int(update_size)
+        self.lr_schedule = lr_schedule
+        self.mitigation = mitigation or MitigationConfig.none()
+        self.stages = [
+            PipelineStage(
+                i,
+                spec,
+                len(specs),
+                lr=lr,
+                momentum=momentum,
+                weight_decay=weight_decay,
+                mitigation=self.mitigation,
+            )
+            for i, spec in enumerate(specs)
+        ]
+        for st in self.stages:
+            st.record_versions = record_versions
+        self.samples_completed = 0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def set_lr(self, lr: float) -> None:
+        for st in self.stages:
+            st.lr = float(lr)
+
+    # -- training -----------------------------------------------------------
+
+    def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
+        """Stream all samples through the pipeline (training mode)."""
+        X = np.asarray(X)
+        Y = np.asarray(Y)
+        if X.shape[0] != Y.shape[0]:
+            raise ValueError("X and Y length mismatch")
+        if self.mode == "pb":
+            stats = self._run(X, Y, inject_gate=None)
+        else:
+            stats = self._run(X, Y, inject_gate=self.update_size)
+        for st in self.stages:
+            if st.stash:
+                raise RuntimeError(
+                    f"stage {st.index} finished with {len(st.stash)} stashed "
+                    "samples — pipeline did not drain"
+                )
+        return stats
+
+    def _run(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        inject_gate: int | None,
+    ) -> PipelineRunStats:
+        n = X.shape[0]
+        S = self.num_stages
+        losses = np.zeros(n)
+        fwd_in: dict[int, tuple[int, list[np.ndarray]]] = {}
+        bwd_in: dict[int, tuple[int, list[np.ndarray]]] = {}
+        next_inject = 0
+        batch_start = 0  # fill-drain: first sample id of the current batch
+        completed = 0
+        t = 0
+        f_ops = 0
+        b_ops = 0
+
+        while next_inject < n or fwd_in or bwd_in:
+            # inject one new sample if the first stage is free this step
+            may_inject = next_inject < n and 0 not in fwd_in
+            if may_inject and inject_gate is not None:
+                # fill-drain: only inject samples of the current batch
+                may_inject = next_inject < batch_start + inject_gate
+            if may_inject:
+                fwd_in[0] = (next_inject, [X[next_inject : next_inject + 1]])
+                next_inject += 1
+
+            # forward sweep (uses arrivals from the previous step)
+            new_fwd: dict[int, tuple[int, list[np.ndarray]]] = {}
+            for s in range(S):
+                item = fwd_in.pop(s, None)
+                if item is None:
+                    continue
+                sid, payload = item
+                stage = self.stages[s]
+                if stage.spec.kind == "loss":
+                    loss, glogits = softmax_xent_grad(payload[0], Y[sid])
+                    losses[sid] = loss
+                    bwd_in[s] = (sid, [glogits])
+                    f_ops += 1
+                else:
+                    new_fwd[s + 1] = (sid, stage.forward(sid, payload))
+                    f_ops += 1
+
+            # backward sweep
+            new_bwd: dict[int, tuple[int, list[np.ndarray]]] = {}
+            for s in range(S - 1, -1, -1):
+                item = bwd_in.pop(s, None)
+                if item is None:
+                    continue
+                sid, grads = item
+                stage = self.stages[s]
+                upstream = stage.backward(sid, grads)
+                if inject_gate is None:
+                    stage.apply_update()  # PB: update size one
+                b_ops += 1
+                if s > 0:
+                    new_bwd[s - 1] = (sid, upstream)
+                else:
+                    completed += 1
+                    self.samples_completed += 1
+
+            fwd_in = new_fwd
+            bwd_in = new_bwd
+            t += 1
+
+            # fill-drain: batch fully drained -> apply averaged updates
+            if inject_gate is not None:
+                batch_n = min(inject_gate, n - batch_start)
+                if batch_n and completed >= batch_start + batch_n:
+                    for stage in self.stages:
+                        stage.flush_update(batch_n)
+                    batch_start += batch_n
+
+            if self.lr_schedule is not None:
+                self.set_lr(self.lr_schedule(self.samples_completed))
+
+        return PipelineRunStats(
+            losses=losses,
+            time_steps=t,
+            forward_ops=f_ops,
+            backward_ops=b_ops,
+            num_stages=S,
+            samples=n,
+            updates_per_stage=[st.updates_applied for st in self.stages],
+        )

@@ -1,0 +1,281 @@
+"""A pipeline stage: module segment + per-stage optimizer + stashes.
+
+Each stage owns its parameters' velocity and applies its own updates — in
+pipelined backpropagation every stage updates once per time step as soon
+as its gradient arrives (update size one), with its *own* delay
+``D_s = 2(S-1-s)`` driving the mitigation:
+
+* **forward**: if weight prediction is on, parameters are loaded with
+  ``w - lr*T_s*v`` (velocity form) / the weight-difference form before the
+  sample's graph is built, then restored.  The graph captures activations
+  by value but reads weights lazily, so a later backward sees the weights
+  *current at backward time* — the genuine PB inconsistency.
+* **backward**: with weight stashing the stashed forward weights are
+  reloaded around the backward pass; with SpecTrain the weights are
+  re-predicted with the vertical-sync horizon (= stage index); otherwise
+  the current weights are used as-is.
+* **update**: spike compensation modifies how the arriving gradient is
+  applied: ``w -= lr * (a v' + b g)`` with SC_D coefficients by default.
+
+Payloads travelling between stages are lists of raw arrays
+``[main, skip_0, ..)``; gradients travel backwards with the mirrored
+layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.mitigation import MitigationConfig
+from repro.core.prediction import (
+    predict_velocity_form,
+    predict_weight_diff_form,
+)
+from repro.models.arch import StageDef
+from repro.pipeline.delays import stage_delay
+from repro.tensor.tensor import Tensor, backward_multi
+
+
+@dataclass
+class _StashEntry:
+    """Graph roots and metadata kept between a sample's F and B."""
+
+    roots: dict[str, Tensor] = field(default_factory=dict)
+    stashed_weights: list[np.ndarray] | None = None
+    version_at_forward: int = 0
+
+
+class PipelineStage:
+    """One stage of the pipeline executor (see module docstring)."""
+
+    def __init__(
+        self,
+        index: int,
+        spec: StageDef,
+        num_stages: int,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        mitigation: MitigationConfig | None = None,
+    ):
+        self.index = index
+        self.spec = spec
+        self.num_stages = num_stages
+        self.delay = stage_delay(index, num_stages)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.mitigation = mitigation or MitigationConfig.none()
+        self.params = list(spec.module.parameters()) if spec.module else []
+        self._velocity = {id(p): np.zeros_like(p.data) for p in self.params}
+        self._prev_weights = {id(p): p.data.copy() for p in self.params}
+        self.updates_applied = 0
+        self._pending_grads = 0
+        self.stash: dict[int, _StashEntry] = {}
+        # observed (forward version, backward version) pairs for validation
+        self.version_trace: list[tuple[int, int, int]] = []
+        self.record_versions = False
+
+    # -- weight loading helpers -------------------------------------------
+
+    def _predicted_forward_weights(self) -> list[np.ndarray] | None:
+        """Prediction per eq. 18/19 applied at forward time, or ``None``."""
+        pred = self.mitigation.prediction
+        if pred.kind == "none" or not self.params:
+            return None
+        horizon = pred.forward_horizon(self.delay, offset=float(self.index))
+        out = []
+        for p in self.params:
+            pid = id(p)
+            if pred.kind == "lwp_w":
+                out.append(
+                    predict_weight_diff_form(
+                        p.data, self._prev_weights[pid], horizon
+                    )
+                )
+            else:  # lwp_v / spectrain use the velocity form
+                out.append(
+                    predict_velocity_form(
+                        p.data, self._velocity[pid], self.lr, horizon
+                    )
+                )
+        return out
+
+    def _backward_weights(
+        self, entry: _StashEntry
+    ) -> list[np.ndarray] | None:
+        """Weights to load around the backward pass, or ``None`` to keep
+        the current (master) weights — the default PB inconsistency."""
+        if not self.params:
+            return None
+        if self.mitigation.weight_stashing:
+            return entry.stashed_weights
+        pred = self.mitigation.prediction
+        if pred.kind == "spectrain":
+            horizon = pred.backward_horizon(offset=float(self.index))
+            return [
+                predict_velocity_form(
+                    p.data, self._velocity[id(p)], self.lr, horizon
+                )
+                for p in self.params
+            ]
+        return None
+
+    # -- forward --------------------------------------------------------------
+
+    def forward(
+        self, sample_id: int, payload: list[np.ndarray], train: bool = True
+    ) -> list[np.ndarray]:
+        """Process one sample's forward transformation for this stage."""
+        spec = self.spec
+        if spec.kind in ("identity", "loss"):
+            return payload
+        if spec.kind == "sum":
+            main = payload[0] + payload[-1]
+            return [main] + payload[1:-1]
+
+        # compute stage: optionally load predicted weights for the forward
+        predicted = self._predicted_forward_weights() if train else None
+        masters = [p.data for p in self.params]
+        if predicted is not None:
+            for p, w_hat in zip(self.params, predicted):
+                p.data = w_hat
+        try:
+            entry = _StashEntry(version_at_forward=self.updates_applied)
+            if train and self.mitigation.weight_stashing:
+                entry.stashed_weights = [p.data.copy() for p in self.params]
+            if spec.channel == -1:
+                x = Tensor(payload[-1], requires_grad=train)
+                y = spec.module(x)
+                out = payload[:-1] + [y.data]
+                entry.roots = {"x": x, "main": y}
+            elif spec.push_skip == "input":
+                x = Tensor(payload[0], requires_grad=train)
+                y = spec.module(x)
+                out = [y.data] + payload[1:] + [payload[0]]
+                entry.roots = {"x": x, "main": y}
+            elif spec.push_skip == "preact":
+                x = Tensor(payload[0], requires_grad=train)
+                y, preact = spec.module.forward_parts(x)
+                out = [y.data] + payload[1:] + [preact.data]
+                entry.roots = {"x": x, "main": y, "skip": preact}
+            else:
+                x = Tensor(payload[0], requires_grad=train)
+                y = spec.module(x)
+                out = [y.data] + payload[1:]
+                entry.roots = {"x": x, "main": y}
+            if train:
+                self.stash[sample_id] = entry
+        finally:
+            if predicted is not None:
+                for p, w in zip(self.params, masters):
+                    p.data = w
+        return out
+
+    # -- backward -------------------------------------------------------------
+
+    def backward(
+        self, sample_id: int, grads: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Process one sample's backward transformation; returns upstream
+        gradients mirroring this stage's forward *input* payload."""
+        spec = self.spec
+        if spec.kind in ("identity", "loss"):
+            return grads
+        if spec.kind == "sum":
+            g_main = grads[0]
+            return [g_main] + grads[1:] + [g_main.copy()]
+
+        entry = self.stash.pop(sample_id)
+        masters = [p.data for p in self.params]
+        loaded = self._backward_weights(entry)
+        if loaded is not None:
+            for p, w in zip(self.params, loaded):
+                p.data = w
+        try:
+            if spec.channel == -1:
+                backward_multi([(entry.roots["main"], grads[-1])])
+                upstream = grads[:-1] + [entry.roots["x"].grad]
+            elif spec.push_skip == "input":
+                backward_multi([(entry.roots["main"], grads[0])])
+                gx = entry.roots["x"].grad
+                gx = grads[-1] if gx is None else gx + grads[-1]
+                upstream = [gx] + grads[1:-1]
+            elif spec.push_skip == "preact":
+                backward_multi(
+                    [
+                        (entry.roots["main"], grads[0]),
+                        (entry.roots["skip"], grads[-1]),
+                    ]
+                )
+                upstream = [entry.roots["x"].grad] + grads[1:-1]
+            else:
+                backward_multi([(entry.roots["main"], grads[0])])
+                upstream = [entry.roots["x"].grad] + grads[1:]
+        finally:
+            if loaded is not None:
+                for p, w in zip(self.params, masters):
+                    p.data = w
+        if self.record_versions:
+            self.version_trace.append(
+                (sample_id, entry.version_at_forward, self.updates_applied)
+            )
+        self._pending_grads += 1
+        return upstream
+
+    # -- updates ----------------------------------------------------------------
+
+    def apply_update(self) -> None:
+        """PB update: apply the single accumulated gradient with spike
+        compensation (update size one)."""
+        self._apply(scale=1.0)
+
+    def flush_update(self, count: int) -> None:
+        """Fill-and-drain update: apply the mean of ``count`` accumulated
+        gradients with plain SGDM (no mitigation — the pipeline is
+        consistent and drained)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._apply(scale=1.0 / count, plain=True)
+
+    def _apply(self, scale: float, plain: bool = False) -> None:
+        m = self.momentum
+        for p in self.params:
+            if p.grad is None:
+                continue
+            pid = id(p)
+            g = p.grad * scale if scale != 1.0 else p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if not plain:
+                shrink = self.mitigation.shrink_factor(m, self.delay)
+                if shrink != 1.0:
+                    g = g * shrink
+            v = self._velocity[pid]
+            v *= m
+            v += g
+            if plain:
+                a, b = 1.0, 0.0
+            else:
+                a, b = self.mitigation.spike_coefficients(m, self.delay)
+            self._prev_weights[pid] = p.data
+            update = a * v if b == 0.0 else a * v + b * g
+            p.data = p.data - self.lr * update
+            p.grad = None
+        self.updates_applied += 1
+        self._pending_grads = 0
+
+    @property
+    def pending_grads(self) -> int:
+        return self._pending_grads
+
+    @property
+    def in_flight(self) -> int:
+        """Number of samples between their F and B at this stage."""
+        return len(self.stash)
+
+    def velocity(self, p) -> np.ndarray:
+        return self._velocity[id(p)]

@@ -1,0 +1,63 @@
+"""Convex-quadratic staleness analysis (paper §3.5, Appendices D-E).
+
+Per-coordinate expected dynamics of delayed SGDM with mitigation form a
+linear recurrence; its characteristic polynomial's dominant root gives the
+asymptotic convergence rate.  This package computes:
+
+* the characteristic polynomials (eqs. 28-31, rederived from eq. 39 — see
+  :mod:`~repro.quadratic.polynomials` for the eq.-28 sign-typo note),
+* dominant-root heatmaps over ``(eta*lambda, momentum)`` (Figure 4),
+* optimal half-lives over condition-number windows (Figures 5-7, 12),
+* direct simulations of the same recurrences and of full quadratics with
+  eigenvalue spectra, used to cross-validate the root analysis and to run
+  empirical delayed-optimization experiments.
+"""
+
+from repro.quadratic.polynomials import (
+    characteristic_coefficients,
+    MethodSpec,
+    GDM,
+    NESTEROV,
+    sc_method,
+    lwp_method,
+    combined_method,
+    METHOD_REGISTRY,
+)
+from repro.quadratic.roots import dominant_root, rate_grid
+from repro.quadratic.halflife import (
+    half_life_from_rate,
+    min_half_life_over_window,
+    condition_number_sweep,
+    delay_sweep,
+    momentum_curve,
+    horizon_sweep,
+)
+from repro.quadratic.simulate import (
+    simulate_recurrence,
+    empirical_rate,
+    ConvexQuadratic,
+    run_delayed_quadratic,
+)
+
+__all__ = [
+    "characteristic_coefficients",
+    "MethodSpec",
+    "GDM",
+    "NESTEROV",
+    "sc_method",
+    "lwp_method",
+    "combined_method",
+    "METHOD_REGISTRY",
+    "dominant_root",
+    "rate_grid",
+    "half_life_from_rate",
+    "min_half_life_over_window",
+    "condition_number_sweep",
+    "delay_sweep",
+    "momentum_curve",
+    "horizon_sweep",
+    "simulate_recurrence",
+    "empirical_rate",
+    "ConvexQuadratic",
+    "run_delayed_quadratic",
+]

@@ -1,0 +1,147 @@
+"""Characteristic polynomials of delayed SGDM with mitigation.
+
+Starting from the combined-mitigation state-transition equation (eq. 39,
+with the weight-difference LWP form and the linear gradient
+``grad L(w) = lambda * w``):
+
+    w_{t+1} = (1+m) w_t - m w_{t-1}
+              - eta*lam*(a+b) * [(T+1) w_{t-D} - T w_{t-D-1}]
+              + eta*lam*m*b   * [(T+1) w_{t-D-1} - T w_{t-D-2}]
+
+substituting ``w_t = z^t`` and clearing ``z^{t-D-2}`` gives
+
+    p(z) = z^{D+3} - (1+m) z^{D+2} + m z^{D+1}
+           + eta*lam*(a+b)(T+1) z^2
+           - eta*lam*[(a+b) T + m b (T+1)] z
+           + eta*lam*m*b*T                                     (eq. 31)
+
+All other methods are special cases: GDM ``(a,b,T)=(1,0,0)``, generalized
+spike compensation ``T=0`` (eq. 29), LWP ``(a,b)=(1,0)`` (eq. 30), and
+Nesterov momentum ``(a,b,T)=(m,1,0)``.  Setting special cases via
+coefficient *addition* handles the index collisions that occur for small
+``D``, and the extra ``z^k`` factors the unified form introduces only add
+roots at zero, which never affect the dominant root.
+
+**Sign note (eq. 28):** the paper prints the constant term of the GDM
+polynomial as ``- eta*lam``; substituting ``a=1, b=0, T=0`` above (or
+requiring plain GD at ``D=0, m=0`` to give the correct root
+``z = 1 - eta*lam``) shows it must be ``+ eta*lam``.  Equations 29-31 are
+printed consistently with the ``+`` convention; our implementation uses
+the derived signs throughout and the simulation cross-checks in
+``tests/test_quadratic_simulate.py`` confirm them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.compensation import spike_coefficients
+
+
+def characteristic_coefficients(
+    eta_lam: float,
+    momentum: float,
+    delay: int,
+    a: float = 1.0,
+    b: float = 0.0,
+    T: float = 0.0,
+) -> np.ndarray:
+    """Polynomial coefficients (highest degree first) of eq. 31."""
+    if delay < 0:
+        raise ValueError(f"delay must be >= 0, got {delay}")
+    D = int(delay)
+    m = float(momentum)
+    el = float(eta_lam)
+    c = np.zeros(D + 4)
+    c[0] += 1.0
+    c[1] -= 1.0 + m
+    c[2] += m
+    c[D + 1] += el * (a + b) * (T + 1.0)
+    c[D + 2] -= el * ((a + b) * T + m * b * (T + 1.0))
+    c[D + 3] += el * m * b * T
+    return c
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named mapping ``(momentum, delay) -> (a, b, T)``.
+
+    ``delay_override`` pins the delay used in the *dynamics* (e.g. the
+    no-delay baselines of Figure 4) independent of the sweep delay.
+    """
+
+    name: str
+    abT: Callable[[float, int], tuple[float, float, float]]
+    delay_override: int | None = None
+
+    def coefficients(
+        self, eta_lam: float, momentum: float, delay: int
+    ) -> np.ndarray:
+        d = self.delay_override if self.delay_override is not None else delay
+        a, b, T = self.abT(momentum, d)
+        return characteristic_coefficients(eta_lam, momentum, d, a=a, b=b, T=T)
+
+
+GDM = MethodSpec("GDM", lambda m, d: (1.0, 0.0, 0.0))
+GDM_NO_DELAY = MethodSpec("GDM D=0", lambda m, d: (1.0, 0.0, 0.0), delay_override=0)
+NESTEROV = MethodSpec("Nesterov", lambda m, d: (m, 1.0, 0.0))
+NESTEROV_NO_DELAY = MethodSpec(
+    "Nesterov D=0", lambda m, d: (m, 1.0, 0.0), delay_override=0
+)
+
+
+def sc_method(scale: float = 1.0, name: str | None = None) -> MethodSpec:
+    """Spike compensation with default coefficients at ``scale * D``."""
+
+    def abT(m: float, d: int) -> tuple[float, float, float]:
+        a, b = spike_coefficients(m, scale * d)
+        return a, b, 0.0
+
+    return MethodSpec(name or (f"SC_{scale:g}D" if scale != 1 else "SC_D"), abT)
+
+
+def lwp_method(
+    scale: float = 1.0, horizon: float | None = None, name: str | None = None
+) -> MethodSpec:
+    """Linear weight prediction with ``T = scale*D`` (or explicit T)."""
+
+    def abT(m: float, d: int) -> tuple[float, float, float]:
+        T = horizon if horizon is not None else scale * d
+        return 1.0, 0.0, T
+
+    if name is None:
+        name = (
+            f"LWP T={horizon:g}"
+            if horizon is not None
+            else (f"LWP_{scale:g}D" if scale != 1 else "LWP_D")
+        )
+    return MethodSpec(name, abT)
+
+
+def combined_method(
+    lwp_scale: float = 1.0, sc_scale: float = 1.0, name: str | None = None
+) -> MethodSpec:
+    """LWPw + SC combined (eq. 31 with both coefficient sets active)."""
+
+    def abT(m: float, d: int) -> tuple[float, float, float]:
+        a, b = spike_coefficients(m, sc_scale * d)
+        return a, b, lwp_scale * d
+
+    return MethodSpec(name or "LWPw_D+SC_D", abT)
+
+
+#: Named methods used throughout the figures.
+METHOD_REGISTRY: dict[str, MethodSpec] = {
+    "gdm": GDM,
+    "gdm_d0": GDM_NO_DELAY,
+    "nesterov": NESTEROV,
+    "nesterov_d0": NESTEROV_NO_DELAY,
+    "sc": sc_method(),
+    "sc_2d": sc_method(2.0),
+    "lwp": lwp_method(),
+    "lwp_2d": lwp_method(2.0),
+    "combined": combined_method(),
+}

@@ -1,0 +1,61 @@
+"""Dominant roots of the characteristic polynomials and rate grids."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quadratic.polynomials import MethodSpec
+
+
+def dominant_root(coeffs: np.ndarray) -> float:
+    """``|r_max|`` — the magnitude of the largest root of ``coeffs``.
+
+    The error of the corresponding recurrence decays like
+    ``|r_max|**t`` (eq. 33); values >= 1 mean divergence/stall.
+    """
+    coeffs = np.asarray(coeffs, dtype=float)
+    nz = np.flatnonzero(coeffs)
+    if nz.size == 0:
+        return 0.0
+    trimmed = coeffs[nz[0] :]
+    if trimmed.size == 1:
+        return 0.0
+    roots = np.roots(trimmed)
+    return float(np.abs(roots).max()) if roots.size else 0.0
+
+
+def rate_grid(
+    method: MethodSpec,
+    delay: int,
+    eta_lams: np.ndarray,
+    momenta: np.ndarray,
+) -> np.ndarray:
+    """``|r_max|`` over a (momentum x eta*lambda) grid — Figure 4 data.
+
+    Rows follow ``momenta``, columns ``eta_lams``.
+    """
+    eta_lams = np.asarray(eta_lams, dtype=float)
+    momenta = np.asarray(momenta, dtype=float)
+    out = np.empty((momenta.size, eta_lams.size))
+    for i, m in enumerate(momenta):
+        for j, el in enumerate(eta_lams):
+            out[i, j] = dominant_root(method.coefficients(el, m, delay))
+    return out
+
+
+def stability_mask(rates: np.ndarray) -> np.ndarray:
+    """Boolean mask of the stable region (``|r_max| < 1``)."""
+    return rates < 1.0
+
+
+def default_eta_lambda_grid(points_per_decade: int = 8) -> np.ndarray:
+    """Figure-4 x-axis: ``eta*lambda`` from 1e-9 to 1 (log-spaced)."""
+    n = 9 * points_per_decade + 1
+    return np.logspace(-9.0, 0.0, n)
+
+
+def default_momentum_grid(points_per_decade: int = 8) -> np.ndarray:
+    """Figure-4 y-axis: ``m = 1 - 10**-u`` for u in [0, 5] plus m = 0."""
+    n = 5 * points_per_decade + 1
+    u = np.linspace(0.0, 5.0, n)
+    return np.concatenate([[0.0], 1.0 - 10.0 ** (-u[1:])])

@@ -1,0 +1,13 @@
+"""Training harness: batch trainer, pipelined trainer, metrics."""
+
+from repro.train.metrics import accuracy, evaluate, TrainingHistory
+from repro.train.trainer import Trainer
+from repro.train.pb_trainer import PipelinedTrainer
+
+__all__ = [
+    "accuracy",
+    "evaluate",
+    "TrainingHistory",
+    "Trainer",
+    "PipelinedTrainer",
+]

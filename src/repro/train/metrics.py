@@ -1,0 +1,83 @@
+"""Evaluation metrics and training-curve records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, cross_entropy, no_grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of an ``(N, K)`` logit array."""
+    preds = np.asarray(logits).argmax(axis=1)
+    return float((preds == np.asarray(labels)).mean())
+
+
+def evaluate(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 64,
+) -> tuple[float, float]:
+    """Mean loss and top-1 accuracy over a dataset split (eval mode)."""
+    was_training = getattr(model, "training", True)
+    model.eval()
+    losses = []
+    correct = 0
+    n = x.shape[0]
+    with no_grad():
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = model(Tensor(xb))
+            losses.append(float(cross_entropy(logits, yb).data) * len(yb))
+            correct += int((logits.data.argmax(axis=1) == yb).sum())
+    model.train(was_training)
+    return float(np.sum(losses) / n), correct / n
+
+
+@dataclass
+class TrainingHistory:
+    """Per-evaluation-point curves for one training run."""
+
+    label: str = "run"
+    samples_seen: list[int] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_acc: list[float] = field(default_factory=list)
+
+    def record(
+        self,
+        samples: int,
+        train_loss: float,
+        val_loss: float,
+        val_acc: float,
+    ) -> None:
+        self.samples_seen.append(int(samples))
+        self.train_loss.append(float(train_loss))
+        self.val_loss.append(float(val_loss))
+        self.val_acc.append(float(val_acc))
+
+    @property
+    def final_val_acc(self) -> float:
+        return self.val_acc[-1] if self.val_acc else float("nan")
+
+    @property
+    def best_val_acc(self) -> float:
+        return max(self.val_acc) if self.val_acc else float("nan")
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_loss[-1] if self.train_loss else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "samples_seen": list(self.samples_seen),
+            "train_loss": list(self.train_loss),
+            "val_loss": list(self.val_loss),
+            "val_acc": list(self.val_acc),
+        }

@@ -1,0 +1,132 @@
+"""ASCII rendering of tables and heatmaps for terminal output.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables become aligned-column text, heatmaps (Figure 4) become character
+ramps, and line plots (Figures 5-7) become printed series.  These renderers
+are intentionally dependency-free (no matplotlib in this environment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Character ramp from low to high used for ASCII heatmaps.
+HEATMAP_RAMP = " .:-=+*#%@"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    floatfmt: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Render a list of row-dicts as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per row.  Missing keys render as ``-``.
+    columns:
+        Column order; defaults to the keys of the first row.
+    floatfmt:
+        Format applied to float values.
+    title:
+        Optional title line printed above the table.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(v: Any) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return floatfmt.format(float(v))
+        return str(v)
+
+    cells = [[fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells))
+        for i, c in enumerate(columns)
+    ]
+    sep = "  "
+    header = sep.join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = sep.join("-" * w for w in widths)
+    body = "\n".join(
+        sep.join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in cells
+    )
+    out = "\n".join([header, rule, body])
+    if title:
+        out = f"{title}\n{out}"
+    return out
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    title: str | None = None,
+    invalid_char: str = "X",
+) -> str:
+    """Render a 2-D array as an ASCII heatmap.
+
+    Values are mapped onto :data:`HEATMAP_RAMP`; NaN/inf cells render as
+    ``invalid_char`` (used for the unstable region of Figure 4).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected 2-D matrix, got shape {matrix.shape}")
+    finite = np.isfinite(matrix)
+    if vmin is None:
+        vmin = float(matrix[finite].min()) if finite.any() else 0.0
+    if vmax is None:
+        vmax = float(matrix[finite].max()) if finite.any() else 1.0
+    span = (vmax - vmin) or 1.0
+    n_levels = len(HEATMAP_RAMP)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_w = max((len(s) for s in row_labels), default=0) if row_labels else 0
+    for i, row in enumerate(matrix):
+        chars = []
+        for v in row:
+            if not np.isfinite(v):
+                chars.append(invalid_char)
+            else:
+                level = int((v - vmin) / span * (n_levels - 1) + 0.5)
+                chars.append(HEATMAP_RAMP[min(max(level, 0), n_levels - 1)])
+        prefix = (row_labels[i].rjust(label_w) + " |") if row_labels else ""
+        lines.append(prefix + "".join(chars))
+    if col_labels:
+        # print first / last column labels as a footer
+        footer = " " * (label_w + 2) if row_labels else ""
+        footer += col_labels[0] + " " + "." * max(
+            0, matrix.shape[1] - len(col_labels[0]) - len(col_labels[-1]) - 2
+        ) + " " + col_labels[-1]
+        lines.append(footer)
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Iterable[float],
+    ys: Mapping[str, Iterable[float]],
+    x_name: str = "x",
+    floatfmt: str = "{:.4g}",
+) -> str:
+    """Render named y-series against an x axis as a table (figure data)."""
+    x = list(x)
+    rows = []
+    series = {k: list(v) for k, v in ys.items()}
+    for i, xv in enumerate(x):
+        row: dict[str, Any] = {x_name: xv}
+        for name, vals in series.items():
+            row[name] = vals[i] if i < len(vals) else None
+        rows.append(row)
+    return format_table(rows, floatfmt=floatfmt)

@@ -1,0 +1,65 @@
+"""Persistence of experiment results as JSON files.
+
+Each benchmark writes its regenerated table/figure data under
+``results/<experiment_id>.json`` so EXPERIMENTS.md can reference concrete
+artifacts and re-runs can be diffed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def _jsonable(obj: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so ``json`` can encode them."""
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, float) and not np.isfinite(obj):
+        return None if obj != obj else ("inf" if obj > 0 else "-inf")
+    return obj
+
+
+class ResultStore:
+    """Write/read experiment result payloads under a results directory."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_RESULTS_DIR", "results")
+        self.root = Path(root)
+
+    def path(self, experiment_id: str) -> Path:
+        return self.root / f"{experiment_id}.json"
+
+    def save(self, experiment_id: str, payload: dict[str, Any]) -> Path:
+        """Persist ``payload`` (plus a timestamp) for ``experiment_id``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        record = {
+            "experiment": experiment_id,
+            "written_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "payload": _jsonable(payload),
+        }
+        out = self.path(experiment_id)
+        with out.open("w") as fh:
+            json.dump(record, fh, indent=2)
+        return out
+
+    def load(self, experiment_id: str) -> dict[str, Any]:
+        with self.path(experiment_id).open() as fh:
+            return json.load(fh)["payload"]
+
+    def exists(self, experiment_id: str) -> bool:
+        return self.path(experiment_id).exists()

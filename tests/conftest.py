@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A very small, fairly easy synthetic dataset for training tests."""
+    from repro.data import make_synthetic
+
+    return make_synthetic(
+        name="tiny",
+        num_classes=4,
+        image_size=8,
+        train_size=192,
+        val_size=96,
+        noise=0.5,
+        seed=7,
+    )

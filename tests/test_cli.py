@@ -1,0 +1,29 @@
+"""The `python -m repro.experiments` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list_mode(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "table1" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "paper:" in out
+
+    def test_save_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["fig02", "--save"]) == 0
+        assert (tmp_path / "fig02.json").exists()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_scale_flag(self, capsys):
+        assert main(["fig02", "--scale", "bench"]) == 0

@@ -1,0 +1,109 @@
+"""Executor edge cases: tail batches, single samples, repeated runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import MitigationConfig
+from repro.models import small_cnn
+from repro.optim import SGDM
+from repro.pipeline import PipelineExecutor
+from repro.tensor import Tensor, cross_entropy
+
+
+def max_param_diff(m1, m2):
+    return max(
+        float(np.abs(a.data - b.data).max())
+        for a, b in zip(m1.parameters(), m2.parameters())
+    )
+
+
+class TestFillDrainTailBatch:
+    def test_partial_final_batch_matches_reference(self, rng):
+        """n not divisible by N: the tail batch must average over its own
+        size, exactly as the reference does."""
+        n, N = 10, 4  # batches of 4, 4, 2
+        X = rng.normal(size=(n, 3, 8, 8))
+        Y = rng.integers(0, 10, size=n)
+        m1, m2 = small_cnn(seed=7), small_cnn(seed=7)
+        PipelineExecutor(
+            m1, lr=0.05, momentum=0.9, mode="fill_drain", update_size=N
+        ).train(X, Y)
+        ref = SGDM(m2.parameters(), lr=0.05, momentum=0.9)
+        for start in range(0, n, N):
+            xb, yb = X[start : start + N], Y[start : start + N]
+            loss = cross_entropy(m2(Tensor(xb)), yb)
+            ref.zero_grad()
+            loss.backward()
+            ref.step()
+        assert max_param_diff(m1, m2) < 1e-10
+
+    def test_update_size_larger_than_stream(self, rng):
+        """A single batch smaller than update_size still drains/updates."""
+        X = rng.normal(size=(3, 3, 8, 8))
+        Y = rng.integers(0, 10, size=3)
+        m = small_cnn(seed=7)
+        ex = PipelineExecutor(
+            m, lr=0.05, momentum=0.9, mode="fill_drain", update_size=8
+        )
+        stats = ex.train(X, Y)
+        assert stats.samples == 3
+        assert all(s.updates_applied == 1 for s in ex.stages)
+
+
+class TestSmallStreams:
+    def test_single_sample_pb(self, rng):
+        X = rng.normal(size=(1, 3, 8, 8))
+        Y = rng.integers(0, 10, size=1)
+        m = small_cnn(seed=7)
+        stats = PipelineExecutor(m, lr=0.05, mode="pb").train(X, Y)
+        assert stats.samples == 1
+        assert stats.time_steps == 1 + 2 * m.num_stages - 2
+        assert np.isfinite(stats.losses[0])
+
+    def test_consecutive_trains_continue_state(self, rng):
+        """Calling train() twice equals one train() over the concatenated
+        stream up to the pipeline boundary effects of draining between."""
+        X = rng.normal(size=(8, 3, 8, 8))
+        Y = rng.integers(0, 10, size=8)
+        m = small_cnn(seed=7)
+        ex = PipelineExecutor(m, lr=0.02, momentum=0.9, mode="pb")
+        ex.train(X[:4], Y[:4])
+        ex.train(X[4:], Y[4:])
+        assert ex.samples_completed == 8
+        assert all(s.updates_applied == 8 for s in ex.stages)
+
+    def test_empty_stream(self, rng):
+        m = small_cnn(seed=7)
+        ex = PipelineExecutor(m, lr=0.05, mode="pb")
+        stats = ex.train(
+            np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=int)
+        )
+        assert stats.samples == 0
+        assert stats.time_steps == 0
+
+
+class TestNumericalHygiene:
+    def test_losses_recorded_per_sample_in_order(self, rng):
+        X = rng.normal(size=(6, 3, 8, 8))
+        Y = rng.integers(0, 10, size=6)
+        m = small_cnn(seed=7)
+        stats = PipelineExecutor(m, lr=1e-6, mode="pb").train(X, Y)
+        # with a negligible LR every loss equals the frozen-model loss
+        frozen = [
+            float(cross_entropy(m(Tensor(X[i : i + 1])), Y[i : i + 1]).data)
+            for i in range(6)
+        ]
+        np.testing.assert_allclose(stats.losses, frozen, atol=1e-3)
+
+    def test_weight_stash_restores_master_after_backward(self, rng):
+        X = rng.normal(size=(10, 3, 8, 8))
+        Y = rng.integers(0, 10, size=10)
+        m = small_cnn(seed=7)
+        ex = PipelineExecutor(
+            m, lr=0.05, momentum=0.9, mode="pb",
+            mitigation=MitigationConfig.stashing(),
+        )
+        ex.train(X, Y)
+        # master weights are finite and the stash is empty
+        assert all(np.all(np.isfinite(p.data)) for p in m.parameters())
+        assert all(s.in_flight == 0 for s in ex.stages)

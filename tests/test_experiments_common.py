@@ -1,0 +1,97 @@
+"""Unit tests for the experiment machinery (scales, nets, helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    NETS,
+    NET_TRAIN_TWEAKS,
+    _tweaks_for,
+    _warmup,
+    dataset_for,
+    mean_std,
+)
+from repro.experiments.scale import BENCH, PAPER, get_scale
+from repro.experiments.tables import PAPER_TABLE1, _engine_for
+from repro.models.registry import PAPER_STAGE_COUNTS
+
+
+class TestScales:
+    def test_bench_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "bench"
+
+    def test_env_selects_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale().name == "paper"
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "gigantic")
+        with pytest.raises(ValueError):
+            get_scale()
+
+    def test_paper_scale_is_bigger(self):
+        assert PAPER.train_size > BENCH.train_size
+        assert PAPER.points_per_decade > BENCH.points_per_decade
+        assert PAPER.seeds == 5
+        assert PAPER.width_divisor == 1
+
+
+class TestNetSpecs:
+    @pytest.mark.parametrize("key", sorted(NETS))
+    def test_bench_models_keep_paper_stage_counts(self, key):
+        model = NETS[key].model(BENCH, num_classes=10, seed=0)
+        assert model.num_stages == PAPER_STAGE_COUNTS[key]
+
+    def test_stage_count_guard_raises_on_mismatch(self):
+        from dataclasses import replace
+
+        from repro.experiments.common import NetSpec
+        from repro.models.simple import small_cnn
+
+        bad = NetSpec(
+            key="rn20", family="rn",
+            build=lambda scale, nc, seed: small_cnn(num_classes=nc),
+        )
+        with pytest.raises(AssertionError, match="stages"):
+            bad.model(BENCH, 10, 0)
+
+    def test_dataset_families(self):
+        ds_rn = dataset_for(NETS["rn20"], BENCH)
+        assert ds_rn.image_shape == (3, BENCH.rn_image, BENCH.rn_image)
+        ds_vgg = dataset_for(NETS["vgg11"], BENCH)
+        assert ds_vgg.image_shape == (3, BENCH.vgg_image, BENCH.vgg_image)
+        ds_inet = dataset_for(NETS["rn50"], BENCH)
+        assert ds_inet.num_classes == 20
+
+    def test_bench_models_are_small(self):
+        model = NETS["rn110"].model(BENCH, num_classes=10, seed=0)
+        assert model.num_parameters() < 150_000  # full-width RN110: ~1.7M
+
+    def test_paper_table1_covers_all_nets(self):
+        assert set(PAPER_TABLE1) == set(PAPER_STAGE_COUNTS) - {"rn50"}
+
+
+class TestHelpers:
+    def test_warmup_ramps(self):
+        sched = _warmup(1.0, 100, frac=0.2)
+        assert sched(0) < sched(10) <= sched(20) == 1.0
+        assert sched(99) == 1.0
+
+    def test_tweaks_only_at_bench(self):
+        from repro.models.simple import small_cnn
+
+        model = NETS["rn110"].model(BENCH, num_classes=10, seed=0)
+        assert _tweaks_for(model, BENCH) == NET_TRAIN_TWEAKS["rn110"]
+        assert _tweaks_for(model, PAPER) == (1.0, 0.2)
+        plain = small_cnn()
+        assert _tweaks_for(plain, BENCH) == (1.0, 0.2)
+
+    def test_engine_assignment(self):
+        assert _engine_for("rn20", BENCH) == "executor"
+        assert _engine_for("rn110", BENCH) == "sim"
+        assert _engine_for("rn110", PAPER) == "executor"
+
+    def test_mean_std(self):
+        m, s = mean_std([1.0, 3.0])
+        assert m == 2.0 and s == 1.0

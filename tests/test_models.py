@@ -1,0 +1,152 @@
+"""Model zoo: the paper's stage counts, forward shapes, stage semantics."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_BUILDERS,
+    PAPER_STAGE_COUNTS,
+    StageDef,
+    StageGraphModel,
+    build_model,
+    mlp,
+    resnet20,
+    resnet50_tiny,
+    resnet_tiny,
+    small_cnn,
+    vgg_tiny,
+)
+from repro.nn import Linear, ReLU
+from repro.tensor import Tensor, cross_entropy
+
+
+class TestPaperStageCounts:
+    """Table 1 (and §4 for ResNet50): exact stage counts."""
+
+    @pytest.mark.parametrize("name,expected", sorted(PAPER_STAGE_COUNTS.items()))
+    def test_stage_count(self, name, expected):
+        model = build_model(name)
+        assert model.num_stages == expected
+
+    def test_cifar_resnet_formula(self):
+        """CIFAR ResNets: stages = 3 * blocks + 7."""
+        for bpg, depth in [(3, 20), (5, 32), (7, 44), (9, 56), (18, 110)]:
+            model = build_model(f"rn{depth}")
+            assert model.num_stages == 3 * (3 * bpg) + 7
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+
+class TestForwardShapes:
+    def test_resnet_tiny(self, rng):
+        m = resnet_tiny(num_classes=7)
+        out = m(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 7)
+
+    def test_resnet20_full_size(self, rng):
+        m = resnet20()
+        out = m(Tensor(rng.normal(size=(1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+    def test_vgg_tiny(self, rng):
+        m = vgg_tiny(num_classes=5)
+        out = m(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 5)
+
+    def test_resnet50_tiny(self, rng):
+        m = resnet50_tiny(num_classes=6)
+        out = m(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 6)
+
+    def test_small_cnn_backward(self, rng):
+        m = small_cnn(num_classes=4, widths=(4, 8))
+        loss = cross_entropy(
+            m(Tensor(rng.normal(size=(3, 3, 8, 8)))), np.array([0, 1, 2])
+        )
+        loss.backward()
+        assert all(p.grad is not None for p in m.parameters())
+
+    def test_mlp(self, rng):
+        m = mlp(10, 3, hidden=(8,))
+        out = m(Tensor(rng.normal(size=(4, 10))))
+        assert out.shape == (4, 3)
+
+    def test_seed_changes_weights(self):
+        a = resnet_tiny(seed=0)
+        b = resnet_tiny(seed=1)
+        assert not np.array_equal(
+            a.parameters()[0].data, b.parameters()[0].data
+        )
+
+    def test_same_seed_same_weights(self):
+        a, b = resnet_tiny(seed=5), resnet_tiny(seed=5)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestStageGraphSemantics:
+    def test_residual_identity_block_math(self, rng):
+        """The stage-graph interpreter must produce y = F(x) + x for an
+        identity block (pre-activation semantics)."""
+        m = resnet_tiny(widths=(4, 8, 8), blocks_per_group=1, seed=0)
+        # run just the stem + first block by hand
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)))
+        stem = m.stage_defs[0].module
+        conv1_unit = m.stage_defs[1].module
+        conv2_unit = m.stage_defs[2].module
+        assert m.stage_defs[3].kind == "sum"
+        h = stem(x)
+        manual = conv2_unit(conv1_unit(h)) + h
+
+        # run the interpreter over the same four stages
+        partial = StageGraphModel(
+            m.stage_defs[:4] + [StageDef("loss", kind="loss")], name="partial"
+        )
+        np.testing.assert_allclose(partial(x).data, manual.data, atol=1e-12)
+
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError):
+            StageGraphModel(
+                [
+                    StageDef("a", module=ReLU()),
+                    StageDef("a", module=ReLU()),
+                    StageDef("loss", kind="loss"),
+                ]
+            )
+
+    def test_loss_must_be_last(self):
+        with pytest.raises(ValueError):
+            StageGraphModel([StageDef("a", module=ReLU())])
+
+    def test_stagedef_validation(self):
+        with pytest.raises(ValueError):
+            StageDef("x", kind="compute")  # module required
+        with pytest.raises(ValueError):
+            StageDef("x", kind="sum", module=ReLU())  # no module allowed
+        with pytest.raises(ValueError):
+            StageDef("x", module=ReLU(), push_skip="bogus")
+        with pytest.raises(ValueError):
+            StageDef("x", module=ReLU(), push_skip="preact")  # needs unit
+        with pytest.raises(ValueError):
+            StageDef("x", module=ReLU(), channel=2)
+
+    def test_param_stage_index_covers_all_params(self):
+        m = resnet_tiny()
+        mapping = m.param_stage_index()
+        assert set(mapping.keys()) == {id(p) for p in m.parameters()}
+        assert all(0 <= s < m.num_stages for s in mapping.values())
+
+    def test_describe_mentions_every_stage(self):
+        m = small_cnn()
+        text = m.describe()
+        for name in m.stage_names():
+            assert name in text
+
+    def test_all_registry_models_build(self):
+        for name in MODEL_BUILDERS:
+            kwargs = {"num_classes": 10}
+            model = MODEL_BUILDERS[name](**kwargs) if name != "rn50" else None
+            if model is not None:
+                assert model.num_stages >= 4

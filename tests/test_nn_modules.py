@@ -1,0 +1,148 @@
+"""Module/Parameter container mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3)
+        self.fc2 = Linear(3, 2)
+        self.gain = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.gain
+
+
+class TestRegistration:
+    def test_parameters_recursive(self):
+        m = Toy()
+        names = dict(m.named_parameters())
+        assert set(names) == {
+            "fc1.weight",
+            "fc1.bias",
+            "fc2.weight",
+            "fc2.bias",
+            "gain",
+        }
+
+    def test_num_parameters(self):
+        m = Toy()
+        assert m.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2 + 1
+
+    def test_shared_parameter_not_double_counted(self):
+        m = Toy()
+        m.fc2.weight = m.fc1.weight  # tie weights (shapes coincide? no)
+        # retie with same object on both attrs of one module instead
+        shared = Parameter(np.zeros((3, 3)))
+        holder = Module()
+        holder.a = shared
+        holder.b = shared
+        assert len(holder.parameters()) == 1
+
+    def test_reassignment_replaces_entry(self):
+        m = Module()
+        m.w = Parameter(np.zeros(3))
+        m.w = Parameter(np.ones(4))
+        assert len(m.parameters()) == 1
+        assert m.parameters()[0].shape == (4,)
+
+    def test_attribute_before_init_raises(self):
+        class Bad(Module):
+            def __init__(self):
+                self.oops = Parameter(np.zeros(1))  # no super().__init__()
+
+        with pytest.raises(RuntimeError):
+            Bad()
+
+    def test_train_eval_recursive(self):
+        m = Toy()
+        m.eval()
+        assert not m.training and not m.fc1.training
+        m.train()
+        assert m.training and m.fc2.training
+
+    def test_zero_grad(self):
+        m = Toy()
+        out = m(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        m1, m2 = Toy(), Toy()
+        for p in m1.parameters():
+            p.data = rng.normal(size=p.shape)
+        m2.load_state_dict(m1.state_dict())
+        for a, b in zip(m1.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Toy()
+        sd = m.state_dict()
+        sd["gain"][:] = 99.0
+        assert m.gain.data[0] == 1.0
+
+    def test_missing_key_raises(self):
+        m = Toy()
+        sd = m.state_dict()
+        del sd["gain"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_shape_mismatch_raises(self):
+        m = Toy()
+        sd = m.state_dict()
+        sd["gain"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+    def test_buffers_in_state_dict(self):
+        from repro.nn import BatchNorm2d
+
+        bn = BatchNorm2d(4)
+        sd = bn.state_dict()
+        assert "running_mean" in sd and "running_var" in sd
+
+
+class TestContainers:
+    def test_sequential_forward(self, rng):
+        seq = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        out = seq(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+
+    def test_sequential_from_list(self):
+        seq = Sequential([Linear(2, 2), ReLU()])
+        assert len(seq) == 2
+
+    def test_sequential_registers_params(self):
+        seq = Sequential(Linear(4, 8), Linear(8, 2))
+        assert len(seq.parameters()) == 4
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(ml.parameters()) == 4
+        with pytest.raises(RuntimeError):
+            ml(Tensor(np.zeros((1, 2))))
+
+    def test_conv_repr(self):
+        c = Conv2d(3, 8, 3, stride=2, padding=1, bias=False)
+        assert "3->8" in repr(c)

@@ -1,0 +1,168 @@
+"""SGDM update math, LR schedules, and the eq.-9 scaling rules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Parameter
+from repro.optim import (
+    ConstantSchedule,
+    HE_CIFAR_REFERENCE,
+    HyperParams,
+    SGDM,
+    StepSchedule,
+    WarmupSchedule,
+    momentum_half_life_samples,
+    per_sample_contribution,
+    scale_for_batch_size,
+)
+from repro.optim.scaling import lr_for_momentum
+
+settings.register_profile("repro", deadline=None, max_examples=30)
+settings.load_profile("repro")
+
+
+class TestSGDM:
+    def test_matches_manual_velocity_form(self, rng):
+        p = Parameter(rng.normal(size=(4,)))
+        w0 = p.data.copy()
+        opt = SGDM([p], lr=0.1, momentum=0.9)
+        g1 = rng.normal(size=4)
+        g2 = rng.normal(size=4)
+        p.grad = g1.copy()
+        opt.step()
+        p.grad = g2.copy()
+        opt.step()
+        v1 = g1
+        v2 = 0.9 * v1 + g2
+        np.testing.assert_allclose(p.data, w0 - 0.1 * v1 - 0.1 * v2, atol=1e-12)
+
+    def test_weight_decay(self, rng):
+        p = Parameter(np.ones(3))
+        opt = SGDM([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        p.grad = np.zeros(3)
+        opt.step()
+        np.testing.assert_allclose(p.data, np.ones(3) - 0.1 * 0.5)
+
+    def test_nesterov_differs(self, rng):
+        p1 = Parameter(np.ones(3))
+        p2 = Parameter(np.ones(3))
+        o1 = SGDM([p1], lr=0.1, momentum=0.9)
+        o2 = SGDM([p2], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            p1.grad = np.ones(3)
+            p2.grad = np.ones(3)
+            o1.step()
+            o2.step()
+        assert not np.allclose(p1.data, p2.data)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        opt = SGDM([p], lr=0.1)
+        opt.step()  # no grad set
+        np.testing.assert_array_equal(p.data, np.ones(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGDM([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGDM([Parameter(np.ones(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGDM([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+    def test_state_dict_round_trip(self, rng):
+        p = Parameter(rng.normal(size=(3,)))
+        opt = SGDM([p], lr=0.1, momentum=0.9)
+        p.grad = rng.normal(size=3)
+        opt.step()
+        state = opt.state_dict()
+        p2 = Parameter(p.data.copy())
+        opt2 = SGDM([p2], lr=0.1, momentum=0.9)
+        opt2.load_state_dict(state)
+        np.testing.assert_array_equal(opt2.velocity(p2), opt.velocity(p))
+
+
+class TestScalingRules:
+    def test_known_value_batch_1(self):
+        lr, m = scale_for_batch_size(0.1, 0.9, 128, 1)
+        assert m == pytest.approx(0.9 ** (1 / 128))
+        assert lr == pytest.approx((1 - m) * 1 / ((1 - 0.9) * 128) * 0.1)
+
+    def test_identity_at_reference(self):
+        lr, m = scale_for_batch_size(0.1, 0.9, 128, 128)
+        assert lr == pytest.approx(0.1) and m == pytest.approx(0.9)
+
+    @given(
+        st.floats(0.01, 1.0),
+        st.floats(0.001, 0.999),
+        st.integers(1, 512),
+        st.integers(1, 512),
+    )
+    def test_half_life_invariant(self, lr_ref, m_ref, n_ref, n_new):
+        """eq. 9 keeps the momentum half-life constant in samples."""
+        lr, m = scale_for_batch_size(lr_ref, m_ref, n_ref, n_new)
+        h_ref = momentum_half_life_samples(m_ref, n_ref)
+        h_new = momentum_half_life_samples(m, n_new)
+        assert h_new == pytest.approx(h_ref, rel=1e-6)
+
+    @given(
+        st.floats(0.01, 1.0),
+        st.floats(0.0, 0.99),
+        st.integers(1, 512),
+        st.integers(1, 512),
+    )
+    def test_per_sample_contribution_invariant(self, lr_ref, m_ref, n_ref, n_new):
+        """eq. 9 keeps each sample's total weight contribution constant."""
+        lr, m = scale_for_batch_size(lr_ref, m_ref, n_ref, n_new)
+        c_ref = per_sample_contribution(lr_ref, m_ref, n_ref)
+        c_new = per_sample_contribution(lr, m, n_new)
+        assert c_new == pytest.approx(c_ref, rel=1e-9)
+
+    def test_hyperparams_scaled_to(self):
+        hp = HE_CIFAR_REFERENCE.scaled_to(1)
+        assert hp.batch_size == 1
+        assert hp.momentum == pytest.approx(0.9 ** (1 / 128))
+        assert hp.weight_decay == HE_CIFAR_REFERENCE.weight_decay
+
+    def test_lr_for_momentum_matches_eq9_at_scaled_m(self):
+        m1 = 0.9 ** (1 / 128)
+        lr_eq9, _ = scale_for_batch_size(0.1, 0.9, 128, 1)
+        lr_free = lr_for_momentum(0.1, 0.9, 128, m1, 1)
+        assert lr_free == pytest.approx(lr_eq9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_for_batch_size(0.1, 1.5, 128, 1)
+        with pytest.raises(ValueError):
+            scale_for_batch_size(0.1, 0.9, 0, 1)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.3)
+        assert s(0) == s(1000) == 0.3
+
+    def test_step_schedule(self):
+        s = StepSchedule(1.0, milestones=[10, 20], gamma=0.1)
+        assert s(0) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    def test_step_schedule_sorted(self):
+        with pytest.raises(ValueError):
+            StepSchedule(1.0, milestones=[20, 10])
+
+    def test_warmup(self):
+        s = WarmupSchedule(ConstantSchedule(1.0), warmup_steps=10, warmup_frac=0.0)
+        assert s(0) == pytest.approx(0.0)
+        assert s(5) == pytest.approx(0.5)
+        assert s(10) == pytest.approx(1.0)
+        assert s(100) == pytest.approx(1.0)
+
+    def test_warmup_frac(self):
+        s = WarmupSchedule(ConstantSchedule(2.0), warmup_steps=4, warmup_frac=0.5)
+        assert s(0) == pytest.approx(1.0)
+        assert s(4) == pytest.approx(2.0)

@@ -1,0 +1,138 @@
+"""Half-life optimization over condition-number windows (Figures 5-7, 12)."""
+
+import numpy as np
+import pytest
+
+from repro.quadratic import (
+    GDM,
+    combined_method,
+    condition_number_sweep,
+    delay_sweep,
+    half_life_from_rate,
+    horizon_sweep,
+    lwp_method,
+    min_half_life_over_window,
+    momentum_curve,
+    sc_method,
+)
+
+
+class TestHalfLife:
+    def test_half_life_values(self):
+        assert half_life_from_rate(0.5) == pytest.approx(1.0)
+        assert half_life_from_rate(0.25) == pytest.approx(0.5)
+        assert half_life_from_rate(1.0) == float("inf")
+        assert half_life_from_rate(1.5) == float("inf")
+        assert half_life_from_rate(0.0) == 0.0
+
+    def test_kappa_one_reduces_to_pointwise_min(self):
+        """With kappa=1 the window is a single point: the best rate over
+        the whole grid."""
+        els = np.logspace(-6, 0, 40)
+        ms = np.array([0.0, 0.5, 0.9])
+        from repro.quadratic.roots import rate_grid
+
+        rates = rate_grid(GDM, 0, els, ms)
+        hl = min_half_life_over_window(GDM, 0, 1.0, els, ms, 6, rates=rates)
+        assert hl == pytest.approx(half_life_from_rate(float(rates.min())))
+
+    def test_harder_conditioning_is_slower(self):
+        kappas = np.array([1e1, 1e2, 1e3])
+        res = condition_number_sweep({"GDM": GDM}, kappas, delay=0,
+                                     points_per_decade=5)
+        vals = res["GDM"]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_window_wider_than_grid_raises(self):
+        els = np.logspace(-1, 0, 5)
+        ms = np.array([0.0])
+        with pytest.raises(ValueError, match="window"):
+            min_half_life_over_window(GDM, 0, 1e9, els, ms, 5)
+
+
+class TestFigure5Shape:
+    """Paper: 'All methods improve the convergence rate, LWPw+SC performs
+    best' (Figure 5 caption)."""
+
+    def test_method_ordering_at_high_kappa(self):
+        methods = {
+            "GDM": GDM,
+            "SC_D": sc_method(),
+            "LWP_D": lwp_method(),
+            "combo": combined_method(),
+        }
+        res = condition_number_sweep(
+            methods, np.array([1e4]), delay=1, points_per_decade=6
+        )
+        gdm = res["GDM"][0]
+        assert res["SC_D"][0] < gdm
+        assert res["LWP_D"][0] < gdm
+        assert res["combo"][0] < res["SC_D"][0]
+        assert res["combo"][0] < res["LWP_D"][0]
+
+    def test_lwp_at_least_as_good_as_sc(self):
+        """Paper: 'LWP_D slightly outperforms SC_D... indicates T=D is
+        better than eq. 14 in this case'."""
+        res = condition_number_sweep(
+            {"SC_D": sc_method(), "LWP_D": lwp_method()},
+            np.array([1e3]),
+            delay=1,
+            points_per_decade=8,
+        )
+        assert res["LWP_D"][0] <= res["SC_D"][0] * 1.05
+
+
+class TestFigure6Shape:
+    def test_delay_hurts_gdm_more_than_combo(self):
+        delays = np.array([0, 4, 8])
+        res = delay_sweep(
+            {"GDM": GDM, "combo": combined_method()},
+            delays,
+            kappa=1e3,
+            points_per_decade=4,
+        )
+        # GDM degrades with delay
+        assert res["GDM"][2] > res["GDM"][0]
+        # combo stays well below GDM at large delay
+        assert res["combo"][2] < res["GDM"][2]
+
+
+class TestFigure7Shape:
+    def test_plain_delay_large_momentum_hurts(self):
+        """Paper: 'without mitigation (T=0...) the optimal momentum is
+        zero' — high momentum is far worse than none, and the optimum sits
+        at small momentum."""
+        momenta = np.concatenate([[0.0], 1.0 - 10.0 ** -np.linspace(0.5, 4, 8)])
+        curve = momentum_curve(GDM, delay=5, kappa=1e3, momenta=momenta,
+                               points_per_decade=4)
+        assert curve[-1] > 2.0 * curve[0]  # m -> 1 is much worse than m = 0
+        assert curve[0] == pytest.approx(curve.min(), rel=0.05)
+
+    def test_combo_restores_momentum_benefit(self):
+        """With mitigation the best momentum is large (>0)."""
+        momenta = np.concatenate([[0.0], 1.0 - 10.0 ** -np.linspace(0.5, 4, 8)])
+        curve = momentum_curve(
+            combined_method(), delay=5, kappa=1e3, momenta=momenta,
+            points_per_decade=4,
+        )
+        assert np.argmin(curve) > 0
+        assert curve.min() < momentum_curve(
+            GDM, delay=5, kappa=1e3, momenta=momenta, points_per_decade=4
+        ).min()
+
+
+class TestFigure12Shape:
+    def test_optimal_scale_is_overcompensating(self):
+        """Paper: 'horizon lengths of around T = 2D seem to give the best
+        results' — the optimum scale is > 1 and finite."""
+        scales = np.array([0.0, 1.0, 2.0, 4.0, 8.0])
+        vals = horizon_sweep(
+            lambda alpha: lwp_method(scale=alpha),
+            scales,
+            delay=4,
+            kappa=1e3,
+            points_per_decade=4,
+        )
+        best = scales[int(np.argmin(vals))]
+        assert best in (1.0, 2.0, 4.0)
+        assert vals[np.where(scales == 2.0)[0][0]] < vals[0]  # beats T=0

@@ -1,0 +1,171 @@
+"""Characteristic polynomials and root analysis (eqs. 28-31)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compensation import spike_coefficients
+from repro.quadratic import (
+    GDM,
+    NESTEROV,
+    characteristic_coefficients,
+    combined_method,
+    dominant_root,
+    lwp_method,
+    rate_grid,
+    sc_method,
+)
+from repro.quadratic.roots import (
+    default_eta_lambda_grid,
+    default_momentum_grid,
+    stability_mask,
+)
+
+
+class TestCoefficients:
+    def test_plain_gd_root(self):
+        """D=0, m=0: GD root is 1 - eta*lambda."""
+        for el in [0.1, 0.5, 1.5]:
+            r = dominant_root(characteristic_coefficients(el, 0.0, 0))
+            assert r == pytest.approx(abs(1.0 - el), abs=1e-10)
+
+    def test_gd_stability_boundary(self):
+        """GD diverges iff eta*lambda > 2."""
+        assert dominant_root(characteristic_coefficients(1.99, 0.0, 0)) < 1.0
+        assert dominant_root(characteristic_coefficients(2.01, 0.0, 0)) > 1.0
+
+    def test_momentum_roots_no_delay(self):
+        """GDM D=0 roots solve z^2 - (1+m-el) z + m = 0."""
+        el, m = 0.05, 0.9
+        coeffs = characteristic_coefficients(el, m, 0)
+        roots = np.roots(np.trim_zeros(coeffs, "b") if coeffs[-1] == 0 else coeffs)
+        # compare against the classical 2nd-order momentum polynomial
+        ref = np.roots([1.0, -(1.0 + m - el), m])
+        got = sorted(np.abs(roots)[np.abs(roots) > 1e-12])[-2:]
+        expect = sorted(np.abs(ref))
+        np.testing.assert_allclose(sorted(got), sorted(expect), atol=1e-10)
+
+    def test_heavy_ball_optimal_rate(self):
+        """At the optimal momentum for a single eigenvalue the rate is
+        sqrt(m) (complex conjugate roots on the circle of radius sqrt(m))."""
+        el = 0.5
+        m = (1 - np.sqrt(el)) ** 2 / 1.0  # for lambda*eta = el, optimum
+        r = dominant_root(characteristic_coefficients(el, m, 0))
+        assert r == pytest.approx(np.sqrt(m), abs=1e-8)
+
+    def test_delay_increases_degree(self):
+        assert characteristic_coefficients(0.1, 0.9, 0).size == 4
+        assert characteristic_coefficients(0.1, 0.9, 5).size == 9
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            characteristic_coefficients(0.1, 0.9, -1)
+
+    def test_index_collisions_handled_at_small_delay(self):
+        """For D=0 the gradient terms overlap the momentum terms; the
+        builder must *add* contributions (z^1 coefficient mixes both)."""
+        el, m, a, b, T = 0.2, 0.9, 0.8, 1.5, 2.0
+        c = characteristic_coefficients(el, m, 0, a=a, b=b, T=T)
+        assert c[1] == pytest.approx(-(1 + m) + el * (a + b) * (T + 1))
+
+
+class TestEquivalences:
+    def test_nesterov_equals_scd_at_delay_one(self):
+        for el in [1e-4, 1e-2, 0.5]:
+            for m in [0.3, 0.9, 0.999]:
+                a, b = spike_coefficients(m, 1)
+                r1 = dominant_root(
+                    characteristic_coefficients(el, m, 1, a=m, b=1.0)
+                )
+                r2 = dominant_root(
+                    characteristic_coefficients(el, m, 1, a=a, b=b)
+                )
+                assert r1 == pytest.approx(r2, abs=1e-10)
+
+    def test_gsc_equivalent_to_lwp_under_eq44_45(self):
+        """a+b = 1+T and m*b = T (eqs. 44-45) make GSC and LWP identical
+        for the linear (quadratic-loss) gradient."""
+        m, D, el = 0.9, 3, 0.01
+        T = 2.0
+        b = T / m
+        a = 1.0 + T - b
+        r_gsc = dominant_root(characteristic_coefficients(el, m, D, a=a, b=b))
+        r_lwp = dominant_root(
+            characteristic_coefficients(el, m, D, a=1.0, b=0.0, T=T)
+        )
+        assert r_gsc == pytest.approx(r_lwp, abs=1e-10)
+
+    def test_scd_equals_lwp_with_eq46_horizon(self):
+        """SC_D == LWP with T = m (1-m^D)/(1-m) (eq. 46)."""
+        m, D, el = 0.9, 4, 0.005
+        a, b = spike_coefficients(m, D)
+        T = m * (1 - m**D) / (1 - m)
+        r_sc = dominant_root(characteristic_coefficients(el, m, D, a=a, b=b))
+        r_lwp = dominant_root(
+            characteristic_coefficients(el, m, D, a=1.0, b=0.0, T=T)
+        )
+        assert r_sc == pytest.approx(r_lwp, abs=1e-10)
+
+    def test_lwp_zero_horizon_is_gdm(self):
+        m, D, el = 0.8, 3, 0.02
+        r1 = dominant_root(characteristic_coefficients(el, m, D))
+        r2 = dominant_root(
+            characteristic_coefficients(el, m, D, a=1.0, b=0.0, T=0.0)
+        )
+        assert r1 == pytest.approx(r2, abs=1e-12)
+
+    def test_combined_not_reachable_by_either_alone(self):
+        """The combination's polynomial has a w_{t-D-2} term (App. D): it
+        differs from every pure-GSC and pure-LWP configuration here."""
+        m, D, el = 0.9, 2, 0.05
+        a, b = spike_coefficients(m, D)
+        c_combo = characteristic_coefficients(el, m, D, a=a, b=b, T=D)
+        assert c_combo[-1] != 0.0  # the z^0 term only the combo produces
+
+
+class TestMethodSpecs:
+    def test_registry_methods_produce_valid_roots(self):
+        from repro.quadratic.polynomials import METHOD_REGISTRY
+
+        for name, spec in METHOD_REGISTRY.items():
+            r = dominant_root(spec.coefficients(1e-3, 0.9, 2))
+            assert np.isfinite(r) and r > 0, name
+
+    def test_delay_override(self):
+        from repro.quadratic.polynomials import GDM_NO_DELAY
+
+        r0 = dominant_root(GDM_NO_DELAY.coefficients(0.05, 0.9, 5))
+        r_direct = dominant_root(characteristic_coefficients(0.05, 0.9, 0))
+        assert r0 == pytest.approx(r_direct, abs=1e-12)
+
+    def test_rate_grid_shape_and_monotone_stability(self):
+        els = default_eta_lambda_grid(points_per_decade=2)
+        ms = default_momentum_grid(points_per_decade=2)
+        grid = rate_grid(GDM, 1, els, ms)
+        assert grid.shape == (ms.size, els.size)
+        mask = stability_mask(grid)
+        # tiny eta*lambda is always stable (just slow)
+        assert mask[:, 0].all()
+
+    def test_delay_shrinks_stable_region(self):
+        """Figure 4: delay blacks out part of the (el, m) plane."""
+        els = np.logspace(-4, 0, 12)
+        ms = np.array([0.0, 0.9, 0.99])
+        area_d0 = stability_mask(rate_grid(GDM, 0, els, ms)).sum()
+        area_d4 = stability_mask(rate_grid(GDM, 4, els, ms)).sum()
+        assert area_d4 < area_d0
+
+    def test_sc_extends_stability_over_gdm_high_momentum(self):
+        """Figure 4: SC_D allows larger learning rates at high momentum."""
+        els = np.logspace(-4, 0, 24)
+        ms = np.array([0.99])
+        gdm_stable = stability_mask(rate_grid(GDM, 1, els, ms)).sum()
+        sc_stable = stability_mask(rate_grid(sc_method(), 1, els, ms)).sum()
+        assert sc_stable >= gdm_stable
+
+    def test_method_names(self):
+        assert sc_method().name == "SC_D"
+        assert sc_method(2.0).name == "SC_2D"
+        assert lwp_method(2.0).name == "LWP_2D"
+        assert lwp_method(horizon=5.0).name == "LWP T=5"
+        assert combined_method().name == "LWPw_D+SC_D"
+        assert NESTEROV.name == "Nesterov"

@@ -1,0 +1,132 @@
+"""Convolution and pooling: values vs naive reference, gradients, adjoints."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    check_gradients,
+    col2im,
+    conv2d,
+    im2col,
+    max_pool2d,
+)
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0):
+    """Direct-loop cross-correlation used as the gold reference."""
+    n, c, h, ww = x.shape
+    oc, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("nchw,ochw->no", patch, w)
+    if b is not None:
+        out += b.reshape(1, -1, 1, 1)
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0), (3, 2)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        ours = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = naive_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_allclose(ours.data, ref, atol=1e-10)
+
+    def test_1x1_conv(self, rng):
+        x = rng.normal(size=(2, 4, 5, 5))
+        w = rng.normal(size=(6, 4, 1, 1))
+        ours = conv2d(Tensor(x), Tensor(w))
+        ref = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(ours.data, ref, atol=1e-10)
+
+    def test_7x7_stride2_stem(self, rng):
+        x = rng.normal(size=(1, 3, 16, 16))
+        w = rng.normal(size=(8, 3, 7, 7))
+        ours = conv2d(Tensor(x), Tensor(w), stride=2, padding=3)
+        ref = naive_conv2d(x, w, stride=2, padding=3)
+        assert ours.shape == (1, 8, 8, 8)
+        np.testing.assert_allclose(ours.data, ref, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(rng.normal(size=(1, 3, 5, 5))),
+                   Tensor(rng.normal(size=(2, 4, 3, 3))))
+
+    def test_kernel_too_large_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(rng.normal(size=(1, 1, 2, 2))),
+                   Tensor(rng.normal(size=(1, 1, 5, 5))))
+
+
+class TestConvGradients:
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1)])
+    def test_gradcheck(self, rng, stride, padding):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.2, requires_grad=True)
+        b = Tensor(rng.normal(size=3) * 0.1, requires_grad=True)
+        check_gradients(
+            lambda x, w, b: (conv2d(x, w, b, stride=stride, padding=padding) ** 2).sum(),
+            [x, w, b],
+        )
+
+    def test_im2col_col2im_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the transpose relationship."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        kh = kw = 3
+        stride = 1
+        cols = im2col(x, kh, kw, stride)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, kh, kw, stride)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, 2)
+        assert cols.shape == (2, 27, 9)
+
+
+class TestPooling:
+    def test_max_pool_values(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = max_pool2d(Tensor(x), 2)
+        ref = x.reshape(1, 1, 2, 2, 2, 2).max(axis=(3, 5))
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_avg_pool_values(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        out = avg_pool2d(Tensor(x), 3)
+        ref = x.reshape(2, 3, 2, 3, 2, 3).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_max_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda x: (max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_avg_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda x: (avg_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = Tensor(
+            np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True
+        )
+        out = max_pool2d(x, 2)
+        out.backward(np.ones_like(out.data))
+        np.testing.assert_allclose(
+            x.grad, np.array([[[[0.0, 0.0], [0.0, 1.0]]]])
+        )
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            max_pool2d(Tensor(rng.normal(size=(1, 1, 5, 5))), 2)

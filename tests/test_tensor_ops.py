@@ -1,0 +1,208 @@
+"""Unit tests for elementwise / reduction / shape ops of the autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    check_gradients,
+    cross_entropy,
+    log_softmax,
+    matmul,
+    relu,
+    softmax,
+)
+from repro.tensor.tensor import (
+    getitem,
+    pad2d,
+    power,
+    tensor_mean,
+    tensor_sum,
+    transpose,
+)
+
+
+def t(rng, *shape, scale=1.0):
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestForwardValues:
+    def test_add(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 3, 4)
+        np.testing.assert_allclose((a + b).data, a.data + b.data)
+
+    def test_add_broadcast(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 4)
+        np.testing.assert_allclose((a + b).data, a.data + b.data)
+
+    def test_scalar_ops(self, rng):
+        a = t(rng, 5)
+        np.testing.assert_allclose((a * 2.0).data, a.data * 2.0)
+        np.testing.assert_allclose((1.0 - a).data, 1.0 - a.data)
+        np.testing.assert_allclose((a / 4.0).data, a.data / 4.0)
+        np.testing.assert_allclose((-a).data, -a.data)
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(4,))) + 0.5, requires_grad=True)
+        np.testing.assert_allclose((a**3).data, a.data**3)
+
+    def test_matmul_2d(self, rng):
+        a, b = t(rng, 3, 4), t(rng, 4, 5)
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_batched(self, rng):
+        a, b = t(rng, 2, 3, 4), t(rng, 4, 5)
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            matmul(t(rng, 3), t(rng, 3))
+
+    def test_sum_axis(self, rng):
+        a = t(rng, 2, 3, 4)
+        np.testing.assert_allclose(
+            a.sum(axis=(0, 2)).data, a.data.sum(axis=(0, 2))
+        )
+
+    def test_mean_keepdims(self, rng):
+        a = t(rng, 2, 3)
+        np.testing.assert_allclose(
+            a.mean(axis=1, keepdims=True).data,
+            a.data.mean(axis=1, keepdims=True),
+        )
+
+    def test_reshape_flatten(self, rng):
+        a = t(rng, 2, 3, 4)
+        assert a.reshape((6, 4)).shape == (6, 4)
+        assert a.flatten().shape == (2, 12)
+
+    def test_transpose(self, rng):
+        a = t(rng, 2, 3, 4)
+        np.testing.assert_allclose(
+            transpose(a, (2, 0, 1)).data, a.data.transpose(2, 0, 1)
+        )
+
+    def test_relu(self, rng):
+        a = t(rng, 10)
+        out = relu(a)
+        np.testing.assert_allclose(out.data, np.maximum(a.data, 0.0))
+
+    def test_log_softmax_normalizes(self, rng):
+        a = t(rng, 4, 7, scale=5.0)
+        probs = np.exp(log_softmax(a).data)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_matches_manual(self, rng):
+        a = t(rng, 3, 5)
+        z = a.data - a.data.max(axis=1, keepdims=True)
+        manual = np.exp(z) / np.exp(z).sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(softmax(a).data, manual, atol=1e-12)
+
+    def test_cross_entropy_value(self, rng):
+        logits = t(rng, 6, 4)
+        labels = rng.integers(0, 4, size=6)
+        lp = log_softmax(logits).data
+        expected = -lp[np.arange(6), labels].mean()
+        got = float(cross_entropy(logits, labels).data)
+        assert got == pytest.approx(expected, abs=1e-12)
+
+    def test_cross_entropy_sum_reduction(self, rng):
+        logits = t(rng, 6, 4)
+        labels = rng.integers(0, 4, size=6)
+        mean = float(cross_entropy(logits, labels, reduction="mean").data)
+        total = float(cross_entropy(logits, labels, reduction="sum").data)
+        assert total == pytest.approx(6 * mean, rel=1e-12)
+
+    def test_cross_entropy_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(t(rng, 6, 4), np.zeros(5, dtype=int))
+
+    def test_pad2d(self, rng):
+        a = t(rng, 1, 1, 3, 3)
+        out = pad2d(a, 2)
+        assert out.shape == (1, 1, 7, 7)
+        np.testing.assert_allclose(out.data[0, 0, 2:-2, 2:-2], a.data[0, 0])
+
+    def test_getitem(self, rng):
+        a = t(rng, 5, 4)
+        np.testing.assert_allclose(getitem(a, (slice(1, 3),)).data, a.data[1:3])
+
+
+class TestGradients:
+    def test_add_broadcast_grad(self, rng):
+        check_gradients(lambda a, b: (a + b).sum(), [t(rng, 3, 4), t(rng, 4)])
+
+    def test_mul_broadcast_grad(self, rng):
+        check_gradients(
+            lambda a, b: (a * b).sum(), [t(rng, 2, 3, 4), t(rng, 3, 1)]
+        )
+
+    def test_div_grad(self, rng):
+        b = Tensor(np.abs(rng.normal(size=(3, 4))) + 1.0, requires_grad=True)
+        check_gradients(lambda a, b: (a / b).sum(), [t(rng, 3, 4), b])
+
+    def test_pow_grad(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True)
+        check_gradients(lambda a: power(a, 2.5).sum(), [a])
+
+    def test_matmul_grad(self, rng):
+        check_gradients(
+            lambda a, b: (a @ b).sum(), [t(rng, 3, 4), t(rng, 4, 2)]
+        )
+
+    def test_matmul_batched_grad(self, rng):
+        check_gradients(
+            lambda a, b: (a @ b).sum(), [t(rng, 2, 3, 4), t(rng, 4, 2)]
+        )
+
+    def test_sum_grad(self, rng):
+        check_gradients(
+            lambda a: (tensor_sum(a, axis=1) ** 2).sum(), [t(rng, 3, 4)]
+        )
+
+    def test_mean_grad(self, rng):
+        check_gradients(
+            lambda a: (tensor_mean(a, axis=(0, 2), keepdims=True) * a).sum(),
+            [t(rng, 2, 3, 4)],
+        )
+
+    def test_reshape_transpose_grad(self, rng):
+        check_gradients(
+            lambda a: (transpose(a.reshape((6, 4)), (1, 0)) ** 2).sum(),
+            [t(rng, 2, 3, 4)],
+        )
+
+    def test_relu_grad(self, rng):
+        check_gradients(lambda a: relu(a).sum(), [t(rng, 4, 4)])
+
+    def test_exp_log_sqrt_grad(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(6,))) + 0.5, requires_grad=True)
+        check_gradients(lambda a: (a.exp() + a.log() + a.sqrt()).sum(), [a])
+
+    def test_log_softmax_grad(self, rng):
+        a = t(rng, 3, 5)
+        w = rng.normal(size=(3, 5))
+        check_gradients(lambda a: (log_softmax(a) * Tensor(w)).sum(), [a])
+
+    def test_cross_entropy_grad(self, rng):
+        logits = t(rng, 5, 7)
+        labels = rng.integers(0, 7, size=5)
+        check_gradients(lambda l: cross_entropy(l, labels), [logits])
+
+    def test_cross_entropy_grad_is_softmax_minus_onehot(self, rng):
+        logits = t(rng, 4, 3)
+        labels = np.array([0, 2, 1, 2])
+        loss = cross_entropy(logits, labels)
+        loss.backward()
+        probs = softmax(Tensor(logits.data)).data
+        expected = probs.copy()
+        expected[np.arange(4), labels] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected / 4.0, atol=1e-12)
+
+    def test_getitem_grad(self, rng):
+        check_gradients(
+            lambda a: (getitem(a, (slice(0, 2),)) ** 2).sum(), [t(rng, 4, 3)]
+        )
+
+    def test_pad2d_grad(self, rng):
+        check_gradients(lambda a: (pad2d(a, 1) ** 2).sum(), [t(rng, 2, 2, 3, 3)])

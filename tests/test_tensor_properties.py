@@ -1,0 +1,121 @@
+"""Hypothesis property tests for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, check_gradients, col2im, conv2d, im2col
+from repro.tensor.tensor import _unbroadcast
+
+settings.register_profile("repro", deadline=None, max_examples=25)
+settings.load_profile("repro")
+
+
+def arrays(draw, shape, scale=1.0):
+    n = int(np.prod(shape))
+    vals = draw(
+        st.lists(
+            st.floats(-2.0, 2.0, allow_nan=False, width=32),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.asarray(vals, dtype=np.float64).reshape(shape) * scale
+
+
+@st.composite
+def broadcastable_pair(draw):
+    base = draw(
+        st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple)
+    )
+    # second shape: drop leading dims and/or squash some dims to 1
+    start = draw(st.integers(0, len(base) - 1))
+    other = tuple(
+        1 if draw(st.booleans()) else d for d in base[start:]
+    ) or (1,)
+    return base, other
+
+
+class TestBroadcastProperties:
+    @given(broadcastable_pair(), st.randoms(use_true_random=False))
+    def test_add_gradcheck_random_broadcast(self, shapes, pyrandom):
+        sa, sb = shapes
+        rng = np.random.default_rng(pyrandom.randint(0, 2**31))
+        a = Tensor(rng.normal(size=sa), requires_grad=True)
+        b = Tensor(rng.normal(size=sb), requires_grad=True)
+        check_gradients(lambda a, b: ((a + b) * (a * b)).sum(), [a, b])
+
+    @given(broadcastable_pair(), st.randoms(use_true_random=False))
+    def test_unbroadcast_is_adjoint_of_broadcast(self, shapes, pyrandom):
+        """<broadcast(x), g> == <x, unbroadcast(g)> for all shapes."""
+        sa, sb = shapes
+        rng = np.random.default_rng(pyrandom.randint(0, 2**31))
+        x = rng.normal(size=sb)
+        out_shape = np.broadcast_shapes(sa, sb)
+        g = rng.normal(size=out_shape)
+        lhs = float((np.broadcast_to(x, out_shape) * g).sum())
+        rhs = float((x * _unbroadcast(g, sb)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+
+class TestConvProperties:
+    @given(
+        st.integers(1, 2),  # batch
+        st.integers(1, 3),  # in channels
+        st.integers(1, 3),  # out channels
+        st.sampled_from([(3, 1, 1), (3, 2, 1), (1, 1, 0), (2, 2, 0)]),
+        st.randoms(use_true_random=False),
+    )
+    def test_conv_gradcheck_random_config(self, n, ci, co, kspec, pyrandom):
+        k, stride, pad = kspec
+        rng = np.random.default_rng(pyrandom.randint(0, 2**31))
+        size = 6
+        x = Tensor(rng.normal(size=(n, ci, size, size)), requires_grad=True)
+        w = Tensor(rng.normal(size=(co, ci, k, k)) * 0.3, requires_grad=True)
+        check_gradients(
+            lambda x, w: (conv2d(x, w, stride=stride, padding=pad) ** 2).sum(),
+            [x, w],
+        )
+
+    @given(
+        st.integers(1, 2),
+        st.integers(1, 3),
+        st.sampled_from([(1, 1), (3, 1), (3, 2), (2, 2)]),
+        st.randoms(use_true_random=False),
+    )
+    def test_im2col_col2im_adjoint_property(self, n, c, kspec, pyrandom):
+        k, stride = kspec
+        rng = np.random.default_rng(pyrandom.randint(0, 2**31))
+        h = w = k + 2 * stride  # always valid
+        x = rng.normal(size=(n, c, h, w))
+        cols = im2col(x, k, k, stride)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, k, k, stride)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(st.floats(-3.0, 3.0, allow_nan=False), min_size=2, max_size=8),
+    )
+    def test_sum_of_parts_equals_whole_gradient(self, vals):
+        """d/dx [f(x) + g(x)] == d/dx f + d/dx g (linearity of backward)."""
+        x1 = Tensor(np.asarray(vals), requires_grad=True)
+        ((x1 * 2.0).sum() + (x1 * x1).sum()).backward()
+        combined = x1.grad.copy()
+
+        x2 = Tensor(np.asarray(vals), requires_grad=True)
+        (x2 * 2.0).sum().backward()
+        (x2 * x2).sum().backward()
+        np.testing.assert_allclose(combined, x2.grad, atol=1e-12)
+
+    @given(
+        st.lists(
+            st.floats(0.1, 3.0, allow_nan=False), min_size=2, max_size=8
+        )
+    )
+    def test_log_exp_roundtrip_gradient_is_one(self, vals):
+        x = Tensor(np.asarray(vals), requires_grad=True)
+        x.log().exp().sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(len(vals)), atol=1e-8)

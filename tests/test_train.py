@@ -1,0 +1,119 @@
+"""Trainers, evaluation, history records."""
+
+import numpy as np
+import pytest
+
+from repro.core import DelayedSGDM, MitigationConfig
+from repro.data import PadCropFlip
+from repro.models import small_cnn
+from repro.optim import SGDM, HE_CIFAR_REFERENCE, StepSchedule
+from repro.train import PipelinedTrainer, Trainer, TrainingHistory, accuracy, evaluate
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_evaluate_restores_training_mode(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        m.train()
+        evaluate(m, tiny_dataset.x_val, tiny_dataset.y_val)
+        assert m.training
+
+    def test_evaluate_matches_manual(self, tiny_dataset):
+        from repro.tensor import Tensor, cross_entropy, no_grad
+
+        m = small_cnn(num_classes=4, seed=0)
+        loss, acc = evaluate(m, tiny_dataset.x_val, tiny_dataset.y_val,
+                             batch_size=7)
+        with no_grad():
+            logits = m(Tensor(tiny_dataset.x_val))
+            ref_loss = float(cross_entropy(logits, tiny_dataset.y_val).data)
+        assert loss == pytest.approx(ref_loss, rel=1e-9)
+        assert acc == pytest.approx(
+            accuracy(logits.data, tiny_dataset.y_val), abs=1e-12
+        )
+
+    def test_history_properties(self):
+        h = TrainingHistory(label="x")
+        h.record(10, 1.0, 1.2, 0.5)
+        h.record(20, 0.8, 1.0, 0.7)
+        assert h.final_val_acc == 0.7
+        assert h.best_val_acc == 0.7
+        assert h.final_train_loss == 0.8
+        assert h.as_dict()["samples_seen"] == [10, 20]
+
+
+class TestTrainer:
+    def test_learns_above_chance(self, tiny_dataset):
+        m = small_cnn(num_classes=4, widths=(8, 16), seed=0)
+        opt = SGDM(m.parameters(), lr=0.05, momentum=0.9)
+        tr = Trainer(m, opt, tiny_dataset, batch_size=16, seed=0)
+        hist = tr.train_epochs(8)
+        assert hist.final_val_acc > 0.4  # chance = 0.25
+
+    def test_delayed_optimizer_supported(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        opt = DelayedSGDM(m, lr=0.05, momentum=0.9, delay=2,
+                          mitigation=MitigationConfig.sc(), consistent=True)
+        tr = Trainer(m, opt, tiny_dataset, batch_size=16, seed=0)
+        hist = tr.train_epochs(2)
+        assert len(hist.val_acc) == 2
+        assert np.isfinite(hist.final_train_loss)
+
+    def test_lr_schedule_applied(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        opt = SGDM(m.parameters(), lr=1.0)
+        sched = StepSchedule(0.5, milestones=[0])  # 0.05 from step 0... 0.5*0.1
+        tr = Trainer(m, opt, tiny_dataset, batch_size=16, seed=0,
+                     lr_schedule=sched)
+        tr.train_epochs(1)
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_augmentation_path(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        opt = SGDM(m.parameters(), lr=0.05, momentum=0.9)
+        tr = Trainer(m, opt, tiny_dataset, batch_size=16, seed=0,
+                     augment=PadCropFlip(pad=1))
+        hist = tr.train_epochs(1)
+        assert np.isfinite(hist.final_train_loss)
+
+    def test_reproducible_runs(self, tiny_dataset):
+        accs = []
+        for _ in range(2):
+            m = small_cnn(num_classes=4, seed=0)
+            opt = SGDM(m.parameters(), lr=0.05, momentum=0.9)
+            tr = Trainer(m, opt, tiny_dataset, batch_size=16, seed=11)
+            accs.append(tr.train_epochs(2).final_val_acc)
+        assert accs[0] == accs[1]
+
+
+class TestPipelinedTrainer:
+    def test_scales_hyperparams_to_batch_one(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        pt = PipelinedTrainer(m, tiny_dataset, seed=0)
+        assert pt.hyperparams.batch_size == 1
+        assert pt.hyperparams.momentum == pytest.approx(0.9 ** (1 / 128))
+
+    def test_trains_and_records(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        pt = PipelinedTrainer(
+            m, tiny_dataset, mitigation=MitigationConfig.lwp_plus_sc(), seed=0
+        )
+        hist = pt.train_epochs(1)
+        assert len(hist.val_acc) == 1
+        assert hist.label == "PB+LWPv_D+SC_D"
+
+    def test_train_samples_partial_epoch(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        pt = PipelinedTrainer(m, tiny_dataset, seed=0)
+        hist = pt.train_samples(50)
+        assert hist.samples_seen == [50]
+
+    def test_fill_drain_mode_uses_reference_scaling(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        pt = PipelinedTrainer(m, tiny_dataset, mode="fill_drain",
+                              update_size=32, seed=0)
+        assert pt.hyperparams.batch_size == 32
