@@ -7,13 +7,17 @@ qualitative claims (orderings, crossovers, stability regions).  Absolute
 values are not expected to match — the substrate is a synthetic-data CPU
 simulation (see DESIGN.md) — but the *shape* of every result is checked.
 
-Run with ``pytest benchmarks/ --benchmark-only``; set ``REPRO_SCALE=paper``
-for full-size runs.
+Every test collected from this directory is auto-marked ``bench`` so the
+tier-1 suite (which deselects ``-m "not bench"`` via ``pytest.ini``)
+never runs them.  Run with ``pytest -m bench`` (or ``pytest -m bench
+benchmarks/bench_schedule_comparison.py`` for one file); set
+``REPRO_SCALE=paper`` for full-size runs.
 """
 
 from __future__ import annotations
 
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -23,6 +27,19 @@ from repro.utils import ResultStore, format_table
 warnings.filterwarnings("ignore", category=RuntimeWarning)
 
 _STORE = ResultStore()
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``bench`` (tier-1 deselects)."""
+    for item in items:
+        try:
+            path = Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - defensive
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -17,6 +17,16 @@ Trains any model with *stale gradients* without constructing a pipeline:
 Delays come from a :class:`~repro.core.staleness.DelayProfile`: constant
 (controlled studies), per-parameter (emulating per-stage pipeline delays),
 or random (ASGD).
+
+This simulator is also the *ground truth for the pipeline schedules'
+staleness accounting*: with the pipeline profile
+(:func:`~repro.pipeline.delays.pipeline_delay_profile`, built via
+:meth:`~repro.core.staleness.PerParamDelay.from_sample_delays`) and
+per-sample steps, ``consistent=False`` reproduces the ``"pb"`` schedule
+exactly (forward stale by eq. 5, backward on current weights) and
+``consistent=True`` reproduces ``"1f1b"`` (PipeDream weight stashing:
+forward and backward share the stale weights).  Both equivalences are
+property-tested in ``tests/test_schedule_properties.py``.
 """
 
 from __future__ import annotations

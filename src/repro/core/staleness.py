@@ -60,6 +60,32 @@ class PerParamDelay(DelayProfile):
         if any(d < 0 for d in self.mapping.values()) or self.default < 0:
             raise ValueError("delays must be >= 0")
 
+    @classmethod
+    def from_sample_delays(
+        cls,
+        sample_delays: Mapping[int, int],
+        sim_batch_size: int = 1,
+    ) -> "PerParamDelay":
+        """Convert per-parameter *sample* delays to optimizer-*step*
+        delays at the simulation batch size (``round(d / B)``).
+
+        The pipeline schedules quote staleness in samples (eq. 5's
+        ``D_s = 2(S-1-s)``, owned by
+        :func:`repro.pipeline.delays.stage_delay`); the flat simulator
+        steps once per batch.  With ``sim_batch_size=1`` the profile
+        matches the executor's per-gradient schedules exactly
+        (``consistent=False`` for ``pb``, ``consistent=True`` for
+        ``1f1b``; property-tested).
+        """
+        if sim_batch_size < 1:
+            raise ValueError("sim_batch_size must be >= 1")
+        return cls(
+            {
+                pid: int(round(d / sim_batch_size))
+                for pid, d in sample_delays.items()
+            }
+        )
+
     def max_delay(self) -> int:
         return max([self.default, *self.mapping.values()], default=self.default)
 

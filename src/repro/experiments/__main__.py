@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig05           # run one (bench scale)
     python -m repro.experiments table1 --scale paper
     python -m repro.experiments fig08 --save    # also write results/<id>.json
+    python -m repro.experiments schedule_comparison --schedule gpipe
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import warnings
 import numpy as np
 
 from repro.experiments import EXPERIMENTS, get_scale, run_experiment
+from repro.pipeline.schedule import SCHEDULE_NAMES
 from repro.utils import ResultStore, format_table
 from repro.utils.render import format_series
 
@@ -52,6 +54,11 @@ def main(argv: list[str] | None = None) -> int:
         help="override REPRO_SCALE",
     )
     parser.add_argument(
+        "--schedule", choices=list(SCHEDULE_NAMES), default=None,
+        help="restrict a schedule-aware experiment (e.g. "
+        "schedule_comparison) to one pipeline schedule",
+    )
+    parser.add_argument(
         "--save", action="store_true", help="persist to results/<id>.json"
     )
     args = parser.parse_args(argv)
@@ -67,7 +74,8 @@ def main(argv: list[str] | None = None) -> int:
     warnings.filterwarnings("ignore", category=RuntimeWarning)
     np.seterr(all="ignore")
     scale = get_scale(args.scale) if args.scale else None
-    payload = run_experiment(args.experiment, scale)
+    overrides = {} if args.schedule is None else {"schedule": args.schedule}
+    payload = run_experiment(args.experiment, scale, **overrides)
     _print_payload(args.experiment, payload)
     if args.save:
         path = ResultStore().save(args.experiment, payload)

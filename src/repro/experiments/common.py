@@ -189,11 +189,23 @@ def run_pb_executor(
     scale: Scale,
     seed: int = 0,
     mode: str = "pb",
+    update_size: int = 1,
+    micro_batch_size: int = 1,
     record_curve: bool = False,
     samples: int | None = None,
 ) -> dict:
-    """Stream samples through the pipeline executor; return final metrics."""
-    hp = scale.reference.scaled_to(1)
+    """Stream samples through the pipeline executor; return final metrics.
+
+    ``mode`` names any registered schedule (``pb``/``fill_drain``/
+    ``gpipe``/``1f1b``); hyperparameters are eq.-9-scaled to the
+    schedule's effective update size.
+    """
+    from repro.pipeline.schedule import make_schedule
+
+    sched = make_schedule(
+        mode, update_size=update_size, micro_batch_size=micro_batch_size
+    )
+    hp = scale.reference.scaled_to(sched.update_size)
     total = samples if samples is not None else scale.pb_samples
     lr_mult, warm_frac = _tweaks_for(model, scale)
     ex = PipelineExecutor(
@@ -202,8 +214,7 @@ def run_pb_executor(
         momentum=hp.momentum,
         weight_decay=hp.weight_decay,
         mitigation=mitigation,
-        mode=mode,
-        update_size=1,
+        schedule=sched,
         lr_schedule=_warmup(hp.lr * lr_mult, total, warm_frac),
     )
     rng = new_rng(derive_seed(seed, "pb", model.name, mitigation.name))

@@ -9,6 +9,11 @@ evaluation does not tabulate; these ablations check them:
   training".
 * ``ablation_gradient_shrinking`` — how the Zhuang et al. baseline
   compares against SC/LWP under identical staleness.
+
+``schedule_comparison`` goes beyond the paper's own evaluation: it runs
+the same model/stream through all four pipeline schedules (``pb``,
+``fill_drain``, ``gpipe``, ``1f1b``) and tabulates the trade the paper
+argues about — pipeline steps-to-loss and utilization per schedule.
 """
 
 from __future__ import annotations
@@ -174,5 +179,92 @@ def ablation_gradient_shrinking(scale: Scale | None = None) -> dict:
             "paper": "Gradient shrinking scales stale gradients down "
             "(reducing both signal and harm); SC/LWP re-time them instead "
             "and should dominate it."
+        },
+    }
+
+
+def schedule_comparison(
+    scale: Scale | None = None, schedule: str | None = None
+) -> dict:
+    """All four pipeline schedules on one model/stream, side by side.
+
+    Reports per schedule: total pipeline steps, utilization (sample
+    transformations over worker-step capacity), pipeline steps until the
+    smoothed training loss first undercuts a shared target, and final
+    validation accuracy.  ``schedule`` restricts the comparison to a
+    single schedule (the CLI ``--schedule`` flag).
+    """
+    from repro.data.loader import sample_stream
+    from repro.models.simple import small_cnn
+    from repro.pipeline.executor import PipelineExecutor
+    from repro.pipeline.schedule import SCHEDULE_NAMES, make_schedule
+
+    scale = scale or get_scale()
+    if schedule is not None and schedule not in SCHEDULE_NAMES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; choose from {SCHEDULE_NAMES}"
+        )
+    names = [schedule] if schedule else list(SCHEDULE_NAMES)
+    ds = SyntheticCifar(
+        seed=0, image_size=8, train_size=min(scale.train_size, 256),
+        val_size=scale.val_size,
+    )
+    n = min(scale.pb_samples, 512)
+    update_size = min(scale.sim_batch, 8)
+    micro = max(1, update_size // 2)
+    window = max(8, n // 16)
+
+    rows = []
+    smoothed_first = None
+    for name in names:
+        sched = make_schedule(
+            name, update_size=update_size, micro_batch_size=micro
+        )
+        hp = scale.reference.scaled_to(sched.update_size)
+        model = small_cnn(num_classes=ds.num_classes, widths=(8, 16), seed=11)
+        ex = PipelineExecutor(
+            model, lr=hp.lr, momentum=hp.momentum,
+            weight_decay=hp.weight_decay, schedule=sched,
+        )
+        # same seed for every schedule: the stream really is shared
+        rng = new_rng(derive_seed(17, "schedcmp"))
+        epochs = max(1, -(-n // ds.x_train.shape[0]))
+        xs, ys = sample_stream(ds.x_train, ds.y_train, epochs, rng)
+        stats = ex.train(xs[:n], ys[:n])
+
+        kernel = np.ones(window) / window
+        smoothed = np.convolve(stats.losses, kernel, mode="valid")
+        if smoothed_first is None:
+            # shared target: 85% of the initial smoothed loss of the
+            # first schedule run, so every schedule chases the same bar
+            smoothed_first = 0.85 * float(smoothed[0])
+        below = np.nonzero(smoothed < smoothed_first)[0]
+        k = int(below[0]) + window if below.size else None
+        _, val_acc = evaluate(model, ds.x_val, ds.y_val)
+        rows.append(
+            {
+                "schedule": name,
+                "update_size": sched.update_size,
+                "micro_batch": sched.micro_batch,
+                "time_steps": stats.time_steps,
+                "utilization": stats.utilization,
+                "steps_to_loss": (
+                    sched.drain_span(k, ex.num_stages)
+                    if k is not None
+                    else None
+                ),
+                "final_loss": float(stats.losses[-window:].mean()),
+                "val_acc": val_acc,
+            }
+        )
+    return {
+        "rows": rows,
+        "target_loss": smoothed_first,
+        "samples": n,
+        "meta": {
+            "paper": "§2 + Figure 2, extended: PB and 1F1B sustain near-"
+            "full utilization (fewer pipeline steps to a target loss), "
+            "fill/drain pays N/(N+2S-2) per batch, and GPipe recovers "
+            "M/(M+2S-2) via micro-batching."
         },
     }

@@ -19,7 +19,7 @@ from repro.models.simple import small_cnn
 from repro.optim.scaling import lr_for_momentum
 from repro.optim.sgd import SGDM
 from repro.pipeline.executor import PipelineExecutor
-from repro.pipeline.schedule import (
+from repro.pipeline.occupancy import (
     fill_drain_occupancy,
     pb_occupancy,
     render_occupancy,

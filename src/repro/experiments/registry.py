@@ -92,14 +92,37 @@ EXPERIMENTS: dict[str, tuple[Callable[..., dict], str]] = {
         extensions.ablation_gradient_shrinking,
         "Extension — gradient shrinking (Zhuang et al.) vs SC/LWP",
     ),
+    "schedule_comparison": (
+        extensions.schedule_comparison,
+        "Extension — PB vs fill-drain vs GPipe vs 1F1B: steps-to-loss "
+        "and utilization per schedule",
+    ),
 }
 
 
-def run_experiment(exp_id: str, scale: Scale | None = None) -> dict:
-    """Run a registered experiment and return its payload."""
+def run_experiment(
+    exp_id: str, scale: Scale | None = None, **overrides
+) -> dict:
+    """Run a registered experiment and return its payload.
+
+    ``overrides`` are forwarded to the experiment callable (e.g.
+    ``schedule="gpipe"`` for ``schedule_comparison``); passing one an
+    experiment does not accept raises :class:`ValueError`.
+    """
     if exp_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         )
     fn, _ = EXPERIMENTS[exp_id]
+    if overrides:
+        import inspect
+
+        params = inspect.signature(fn).parameters
+        unsupported = sorted(set(overrides) - set(params))
+        if unsupported:
+            raise ValueError(
+                f"experiment {exp_id!r} does not accept "
+                f"{', '.join(unsupported)}"
+            )
+        return fn(scale, **overrides)
     return fn(scale)

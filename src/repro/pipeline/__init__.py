@@ -4,12 +4,19 @@
   ``D_s = 2(S-1-s)`` and its projection onto flat delay profiles.
 * :mod:`~repro.pipeline.stage` — a pipeline stage: module segment +
   per-stage optimizer state + activation/weight stash.
-* :mod:`~repro.pipeline.executor` — cycle-accurate pipelined
-  backpropagation (and fill-and-drain SGD) over a
+* :mod:`~repro.pipeline.schedule` — the pluggable
+  :class:`~repro.pipeline.schedule.Schedule` protocol and its four
+  implementations: ``pb`` (pipelined backpropagation), ``fill_drain``
+  (synchronous pipeline SGD), ``gpipe`` (micro-batched fill-and-drain,
+  Huang et al. 2019) and ``1f1b`` (PipeDream one-forward-one-backward
+  with weight stashing, Harlap et al. 2018).
+* :mod:`~repro.pipeline.executor` — the cycle-accurate, schedule-driven
+  engine running any of the above over a
   :class:`~repro.models.arch.StageGraphModel`.
-* :mod:`~repro.pipeline.schedule` — occupancy-grid timing model for
-  Figures 1-2.
-* :mod:`~repro.pipeline.utilization` — closed-form utilization (eq. 1).
+* :mod:`~repro.pipeline.occupancy` — occupancy-grid timing models for
+  Figures 1-2 and the schedule-comparison example.
+* :mod:`~repro.pipeline.utilization` — closed-form utilization (eq. 1,
+  per-sample and per-micro-batch).
 * :mod:`~repro.pipeline.partition` — stage-graph validation and the
   Table-1 stage-count accounting.
 """
@@ -21,15 +28,29 @@ from repro.pipeline.delays import (
     stage_delay_table,
 )
 from repro.pipeline.stage import PipelineStage
-from repro.pipeline.executor import PipelineExecutor, PipelineRunStats
 from repro.pipeline.schedule import (
+    SCHEDULE_NAMES,
+    Schedule,
+    ScheduleState,
+    PipelinedBackpropSchedule,
+    FillDrainSchedule,
+    GPipeSchedule,
+    OneFOneBSchedule,
+    make_schedule,
+)
+from repro.pipeline.executor import PipelineExecutor, PipelineRunStats
+from repro.pipeline.occupancy import (
     pb_occupancy,
     fill_drain_occupancy,
+    gpipe_occupancy,
+    one_f_one_b_occupancy,
     render_occupancy,
     schedule_utilization,
+    observed_stage_delays,
 )
 from repro.pipeline.utilization import (
     fill_drain_utilization,
+    gpipe_utilization,
     pb_utilization,
     utilization_upper_bound,
 )
@@ -47,13 +68,25 @@ __all__ = [
     "max_pipeline_delay",
     "stage_delay_table",
     "PipelineStage",
+    "SCHEDULE_NAMES",
+    "Schedule",
+    "ScheduleState",
+    "PipelinedBackpropSchedule",
+    "FillDrainSchedule",
+    "GPipeSchedule",
+    "OneFOneBSchedule",
+    "make_schedule",
     "PipelineExecutor",
     "PipelineRunStats",
     "pb_occupancy",
     "fill_drain_occupancy",
+    "gpipe_occupancy",
+    "one_f_one_b_occupancy",
     "render_occupancy",
     "schedule_utilization",
+    "observed_stage_delays",
     "fill_drain_utilization",
+    "gpipe_utilization",
     "pb_utilization",
     "utilization_upper_bound",
     "validate_stage_graph",

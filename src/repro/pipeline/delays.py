@@ -39,18 +39,11 @@ def pipeline_delay_profile(
     the flat simulator trains with batches (delay in steps =
     ``round(D_s / B)``).
     """
-    if sim_batch_size < 1:
-        raise ValueError("sim_batch_size must be >= 1")
-    s_count = model.num_stages
-    mapping: dict[int, int] = {}
-    for i, st in enumerate(model.stage_defs):
-        if st.module is None:
-            continue
-        d = stage_delay(i, s_count)
-        steps = int(round(d / sim_batch_size))
-        for p in st.module.parameters():
-            mapping[id(p)] = steps
-    return PerParamDelay(mapping)
+    sample_delays = {
+        pid: stage_delay(s, model.num_stages)
+        for pid, s in model.param_stage_index().items()
+    }
+    return PerParamDelay.from_sample_delays(sample_delays, sim_batch_size)
 
 
 def stage_delay_table(model: StageGraphModel) -> list[dict]:

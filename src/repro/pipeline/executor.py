@@ -1,12 +1,16 @@
-"""Cycle-accurate pipelined-backpropagation executor (the "GProp" role).
+"""Cycle-accurate pipeline engine (the "GProp" role).
 
-Discrete-time simulation of the paper's fine-grained pipeline: at each time
-step every stage performs at most one forward and one backward
-transformation; activations travel one stage per step; the last stage
-computes the loss and seeds the backward pass in the same step, so a sample
-occupies ``2S - 1`` steps (paper §2).
+Discrete-time simulation of the paper's fine-grained pipeline: at each
+time step every stage performs at most one forward and one backward
+transformation; packets travel one stage per step; the last stage
+computes the loss and seeds the backward pass in the same step, so a
+packet occupies ``2S - 1`` steps (paper §2).
 
-Two modes:
+The engine itself is schedule-agnostic.  *What* happens each step —
+whether to inject, how many samples travel together as one vectorized
+``(B, ...)`` packet, when a stage applies its gradient, whether stages
+stash forward weights for the backward pass — is decided by a
+:class:`~repro.pipeline.schedule.Schedule`:
 
 * ``"pb"`` — pipelined backpropagation: continuous injection, each stage
   updates its weights the moment a gradient arrives (update size one).
@@ -17,6 +21,16 @@ Two modes:
   samples, drain completely, apply the averaged update, repeat.  This is
   numerically identical to sequential mini-batch SGDM (the Figure-16
   validation) and exposes the fill/drain utilization penalty of eq. 1.
+* ``"gpipe"`` — micro-batched fill-and-drain (Huang et al. 2019): same
+  update semantics as ``fill_drain`` but ``B`` samples move through a
+  stage as one batched NumPy op, which is both the utilization story of
+  GPipe and this executor's vectorized hot path.
+* ``"1f1b"`` — PipeDream's one-forward-one-backward with per-stage
+  weight stashing (Harlap et al. 2018): PB timing, but each sample's
+  backward reuses its forward weights (zero inconsistency).
+
+Schedules with packet size one reproduce the original per-sample engine
+bit for bit (golden-tested in ``tests/test_schedules_golden.py``).
 """
 
 from __future__ import annotations
@@ -28,27 +42,62 @@ import numpy as np
 
 from repro.core.mitigation import MitigationConfig
 from repro.models.arch import StageGraphModel
+from repro.pipeline.schedule import Schedule, ScheduleState, make_schedule
 from repro.pipeline.stage import PipelineStage
+
+
+def softmax_xent_grad_batch(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused CE loss and dL/dlogits for a packet ``(B, K)``.
+
+    Returns per-sample losses ``(B,)`` and the *unreduced* gradient
+    ``(B, K)`` (one full gradient per sample; the schedules decide how
+    gradients are averaged into updates).
+    """
+    B = logits.shape[0]
+    z = logits.reshape(B, -1)
+    zmax = z.max(axis=1, keepdims=True)
+    shifted = z - zmax
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - lse
+    rows = np.arange(B)
+    labels = np.asarray(labels, dtype=np.int64).reshape(B)
+    losses = -log_probs[rows, labels]
+    grad = np.exp(log_probs)
+    grad[rows, labels] -= 1.0
+    return losses, grad.reshape(logits.shape)
 
 
 def softmax_xent_grad(
     logits: np.ndarray, label: int
 ) -> tuple[float, np.ndarray]:
     """Fused CE loss and dL/dlogits for a single sample ``(1, K)``."""
-    z = logits.reshape(1, -1)
-    zmax = z.max(axis=1, keepdims=True)
-    shifted = z - zmax
-    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
-    log_probs = shifted - lse
-    loss = -float(log_probs[0, int(label)])
-    grad = np.exp(log_probs)
-    grad[0, int(label)] -= 1.0
-    return loss, grad.reshape(logits.shape)
+    losses, grad = softmax_xent_grad_batch(
+        logits.reshape(1, -1), np.array([int(label)])
+    )
+    return float(losses[0]), grad.reshape(logits.shape)
+
+
+@dataclass
+class _Packet:
+    """A group of consecutive samples travelling the pipeline together."""
+
+    pid: int  # stash key; equals ``start`` (unique while in flight)
+    start: int  # first sample index
+    size: int  # number of samples
+    payload: list[np.ndarray]  # (B, ...) arrays: main + skip stack
 
 
 @dataclass
 class PipelineRunStats:
-    """Outcome of one executor run."""
+    """Outcome of one executor run.
+
+    ``forward_ops``/``backward_ops`` count *slot* occupancy (one packet
+    transformation each); ``forward_samples``/``backward_samples`` count
+    sample transformations, so a micro-batched op of ``B`` samples adds
+    ``1`` to the former and ``B`` to the latter.
+    """
 
     losses: np.ndarray
     time_steps: int
@@ -57,13 +106,27 @@ class PipelineRunStats:
     num_stages: int
     samples: int
     updates_per_stage: list[int] = field(default_factory=list)
+    forward_samples: int = 0
+    backward_samples: int = 0
+    micro_batch: int = 1
+    schedule: str = "pb"
 
     @property
     def utilization(self) -> float:
-        """Fraction of worker-step capacity used (each worker can do one F
-        and one B per step)."""
-        capacity = 2.0 * self.num_stages * max(self.time_steps, 1)
-        return (self.forward_ops + self.backward_ops) / capacity
+        """Fraction of worker-step capacity used.
+
+        Each worker can process one forward and one backward packet of up
+        to ``micro_batch`` samples per step, so capacity is counted in
+        sample transformations (``2 * S * T * B``) and work in actual
+        sample transformations — a partially-filled tail micro-batch
+        counts fractionally rather than as a full op.
+        """
+        width = max(self.micro_batch, 1)
+        capacity = 2.0 * self.num_stages * max(self.time_steps, 1) * width
+        work = self.forward_samples + self.backward_samples
+        if work == 0:  # legacy construction without sample counts
+            work = self.forward_ops + self.backward_ops
+        return work / capacity
 
     @property
     def mean_loss(self) -> float:
@@ -72,7 +135,12 @@ class PipelineRunStats:
 
 class PipelineExecutor:
     """Drive a :class:`StageGraphModel` through the pipeline, updating the
-    model's parameters in place (they are shared with the stages)."""
+    model's parameters in place (they are shared with the stages).
+
+    The schedule may be named via ``mode`` (with ``update_size`` /
+    ``micro_batch_size`` forwarded to :func:`make_schedule`) or passed
+    ready-made via ``schedule`` (which then wins).
+    """
 
     def __init__(
         self,
@@ -83,19 +151,22 @@ class PipelineExecutor:
         mitigation: MitigationConfig | None = None,
         mode: str = "pb",
         update_size: int = 1,
+        micro_batch_size: int = 1,
         lr_schedule: Callable[[int], float] | None = None,
         record_versions: bool = False,
+        schedule: Schedule | None = None,
     ):
-        if mode not in ("pb", "fill_drain"):
-            raise ValueError(f"mode must be 'pb' or 'fill_drain', got {mode!r}")
-        if mode == "fill_drain" and update_size < 1:
-            raise ValueError("fill_drain needs update_size >= 1")
+        if schedule is None:
+            schedule = make_schedule(
+                mode, update_size=update_size, micro_batch_size=micro_batch_size
+            )
         specs = model.stage_defs
         if not specs or specs[-1].kind != "loss":
             raise ValueError("model must end with a loss stage")
         self.model = model
-        self.mode = mode
-        self.update_size = int(update_size)
+        self.schedule = schedule
+        self.mode = schedule.name
+        self.update_size = schedule.update_size
         self.lr_schedule = lr_schedule
         self.mitigation = mitigation or MitigationConfig.none()
         self.stages = [
@@ -112,6 +183,7 @@ class PipelineExecutor:
         ]
         for st in self.stages:
             st.record_versions = record_versions
+            st.always_stash = schedule.stash_weights
         self.samples_completed = 0
 
     @property
@@ -122,6 +194,12 @@ class PipelineExecutor:
         for st in self.stages:
             st.lr = float(lr)
 
+    def flush_stages(self, count: int) -> None:
+        """Apply the averaged update of ``count`` accumulated gradients on
+        every stage (called by synchronous schedules at batch boundaries)."""
+        for stage in self.stages:
+            stage.flush_update(count)
+
     # -- training -----------------------------------------------------------
 
     def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
@@ -130,102 +208,97 @@ class PipelineExecutor:
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
             raise ValueError("X and Y length mismatch")
-        if self.mode == "pb":
-            stats = self._run(X, Y, inject_gate=None)
-        else:
-            stats = self._run(X, Y, inject_gate=self.update_size)
+        stats = self._run(X, Y)
         for st in self.stages:
             if st.stash:
                 raise RuntimeError(
                     f"stage {st.index} finished with {len(st.stash)} stashed "
-                    "samples — pipeline did not drain"
+                    "packets — pipeline did not drain"
                 )
         return stats
 
-    def _run(
-        self,
-        X: np.ndarray,
-        Y: np.ndarray,
-        inject_gate: int | None,
-    ) -> PipelineRunStats:
+    def _run(self, X: np.ndarray, Y: np.ndarray) -> PipelineRunStats:
         n = X.shape[0]
         S = self.num_stages
+        sched = self.schedule
+        state = ScheduleState(num_samples=n)
+        sched.reset(n)
         losses = np.zeros(n)
-        fwd_in: dict[int, tuple[int, list[np.ndarray]]] = {}
-        bwd_in: dict[int, tuple[int, list[np.ndarray]]] = {}
-        next_inject = 0
-        batch_start = 0  # fill-drain: first sample id of the current batch
-        completed = 0
-        t = 0
-        f_ops = 0
-        b_ops = 0
+        fwd_in: dict[int, _Packet] = {}
+        bwd_in: dict[int, _Packet] = {}
+        f_ops = b_ops = 0
+        f_samples = b_samples = 0
 
-        while next_inject < n or fwd_in or bwd_in:
-            # inject one new sample if the first stage is free this step
-            may_inject = next_inject < n and 0 not in fwd_in
-            if may_inject and inject_gate is not None:
-                # fill-drain: only inject samples of the current batch
-                may_inject = next_inject < batch_start + inject_gate
-            if may_inject:
-                fwd_in[0] = (next_inject, [X[next_inject : next_inject + 1]])
-                next_inject += 1
+        while state.next_sample < n or fwd_in or bwd_in:
+            # inject one new packet if the first stage is free this step
+            if state.next_sample < n and 0 not in fwd_in:
+                size = min(sched.inject_size(state), n - state.next_sample)
+                if size > 0:
+                    i = state.next_sample
+                    fwd_in[0] = _Packet(i, i, size, [X[i : i + size]])
+                    state.next_sample += size
 
             # forward sweep (uses arrivals from the previous step)
-            new_fwd: dict[int, tuple[int, list[np.ndarray]]] = {}
+            new_fwd: dict[int, _Packet] = {}
             for s in range(S):
-                item = fwd_in.pop(s, None)
-                if item is None:
+                pkt = fwd_in.pop(s, None)
+                if pkt is None:
                     continue
-                sid, payload = item
                 stage = self.stages[s]
                 if stage.spec.kind == "loss":
-                    loss, glogits = softmax_xent_grad(payload[0], Y[sid])
-                    losses[sid] = loss
-                    bwd_in[s] = (sid, [glogits])
-                    f_ops += 1
+                    lvec, glogits = softmax_xent_grad_batch(
+                        pkt.payload[0], Y[pkt.start : pkt.start + pkt.size]
+                    )
+                    losses[pkt.start : pkt.start + pkt.size] = lvec
+                    bwd_in[s] = _Packet(pkt.pid, pkt.start, pkt.size, [glogits])
                 else:
-                    new_fwd[s + 1] = (sid, stage.forward(sid, payload))
-                    f_ops += 1
+                    new_fwd[s + 1] = _Packet(
+                        pkt.pid,
+                        pkt.start,
+                        pkt.size,
+                        stage.forward(pkt.pid, pkt.payload),
+                    )
+                f_ops += 1
+                f_samples += pkt.size
 
             # backward sweep
-            new_bwd: dict[int, tuple[int, list[np.ndarray]]] = {}
+            new_bwd: dict[int, _Packet] = {}
             for s in range(S - 1, -1, -1):
-                item = bwd_in.pop(s, None)
-                if item is None:
+                pkt = bwd_in.pop(s, None)
+                if pkt is None:
                     continue
-                sid, grads = item
                 stage = self.stages[s]
-                upstream = stage.backward(sid, grads)
-                if inject_gate is None:
-                    stage.apply_update()  # PB: update size one
+                upstream = stage.backward(pkt.pid, pkt.payload)
+                if sched.update_after_backward(s):
+                    stage.apply_update()
                 b_ops += 1
+                b_samples += pkt.size
                 if s > 0:
-                    new_bwd[s - 1] = (sid, upstream)
+                    new_bwd[s - 1] = _Packet(pkt.pid, pkt.start, pkt.size, upstream)
                 else:
-                    completed += 1
-                    self.samples_completed += 1
+                    state.completed += pkt.size
+                    self.samples_completed += pkt.size
 
             fwd_in = new_fwd
             bwd_in = new_bwd
-            t += 1
+            state.step += 1
 
-            # fill-drain: batch fully drained -> apply averaged updates
-            if inject_gate is not None:
-                batch_n = min(inject_gate, n - batch_start)
-                if batch_n and completed >= batch_start + batch_n:
-                    for stage in self.stages:
-                        stage.flush_update(batch_n)
-                    batch_start += batch_n
+            # batch boundaries: synchronous schedules flush averaged updates
+            sched.end_step(self, state)
 
             if self.lr_schedule is not None:
                 self.set_lr(self.lr_schedule(self.samples_completed))
 
         return PipelineRunStats(
             losses=losses,
-            time_steps=t,
+            time_steps=state.step,
             forward_ops=f_ops,
             backward_ops=b_ops,
             num_stages=S,
             samples=n,
             updates_per_stage=[st.updates_applied for st in self.stages],
+            forward_samples=f_samples,
+            backward_samples=b_samples,
+            micro_batch=sched.micro_batch,
+            schedule=sched.name,
         )

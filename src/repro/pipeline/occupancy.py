@@ -1,0 +1,158 @@
+"""Occupancy-grid timing model of pipeline schedules (Figures 1-2).
+
+These are pure timing constructs (no numerics): a grid with one row per
+pipeline stage and one column per time step, each cell recording which
+packet's forward and/or backward transformation the worker performs.  Used
+to regenerate Figure 2 (utilization of fill-and-drain SGD at small/large
+batch vs pipelined backpropagation), the Figure-1 style timelines, and the
+side-by-side schedule comparison in ``examples/pipeline_schedules.py``.
+
+A "packet" is the unit that occupies one pipeline slot per step: a single
+sample for ``pb`` / ``fill_drain`` / ``1f1b``, a micro-batch for
+``gpipe``.  The numeric counterpart of every grid here is a
+:class:`~repro.pipeline.schedule.Schedule` driving the cycle-accurate
+:class:`~repro.pipeline.executor.PipelineExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Cell encoding: 0 idle, 1 forward only, 2 backward only, 3 both.
+IDLE, FWD, BWD, BOTH = 0, 1, 2, 3
+
+_CELL_CHARS = {IDLE: ".", FWD: "F", BWD: "B", BOTH: "X"}
+
+
+@dataclass
+class Occupancy:
+    """A stage x time occupancy grid plus per-cell packet ids."""
+
+    grid: np.ndarray  # (S, T) of {IDLE, FWD, BWD, BOTH}
+    fwd_sample: np.ndarray  # (S, T) packet id or -1
+    bwd_sample: np.ndarray  # (S, T) packet id or -1
+
+    @property
+    def num_stages(self) -> int:
+        return self.grid.shape[0]
+
+    @property
+    def time_steps(self) -> int:
+        return self.grid.shape[1]
+
+
+def _empty(S: int, T: int) -> Occupancy:
+    return Occupancy(
+        grid=np.zeros((S, T), dtype=np.int8),
+        fwd_sample=np.full((S, T), -1, dtype=np.int64),
+        bwd_sample=np.full((S, T), -1, dtype=np.int64),
+    )
+
+
+def _mark_fwd(occ: Occupancy, s: int, t: int, sid: int) -> None:
+    occ.grid[s, t] |= FWD
+    occ.fwd_sample[s, t] = sid
+
+
+def _mark_bwd(occ: Occupancy, s: int, t: int, sid: int) -> None:
+    occ.grid[s, t] |= BWD
+    occ.bwd_sample[s, t] = sid
+
+
+def pb_occupancy(num_stages: int, num_samples: int) -> Occupancy:
+    """Pipelined backpropagation: continuous injection, one sample/step.
+
+    Sample ``i``: ``F_s`` at ``t = i + s``; ``B_s`` at ``t = i + 2S-2-s``
+    (the last stage does F and B of the same sample in one step).
+    """
+    S = num_stages
+    T = num_samples + 2 * S - 2
+    occ = _empty(S, T)
+    for i in range(num_samples):
+        for s in range(S):
+            _mark_fwd(occ, s, i + s, i)
+            _mark_bwd(occ, s, i + 2 * S - 2 - s, i)
+    return occ
+
+
+def fill_drain_occupancy(
+    num_stages: int, batch_size: int, num_batches: int = 1
+) -> Occupancy:
+    """Fill-and-drain mini-batch SGD: each batch takes ``N + 2S - 2``
+    steps; the next batch starts only after the previous drains."""
+    S = num_stages
+    span = batch_size + 2 * S - 2
+    T = span * num_batches
+    occ = _empty(S, T)
+    for b in range(num_batches):
+        t0 = b * span
+        for i in range(batch_size):
+            sid = b * batch_size + i
+            for s in range(S):
+                _mark_fwd(occ, s, t0 + i + s, sid)
+                _mark_bwd(occ, s, t0 + i + 2 * S - 2 - s, sid)
+    return occ
+
+
+def gpipe_occupancy(
+    num_stages: int, num_micro_batches: int, num_batches: int = 1
+) -> Occupancy:
+    """GPipe micro-batched fill-and-drain at *micro-batch* granularity.
+
+    Each cell is one micro-batch transformation (a vectorized ``(B, ...)``
+    op), so the grid is the fill-and-drain grid with ``M`` packets per
+    mini-batch instead of ``N`` samples.  Slot utilization is therefore
+    ``M / (M + 2S - 2)`` — micro-batching recovers utilization without
+    giving up synchronous mini-batch semantics (Huang et al. 2019).
+    """
+    return fill_drain_occupancy(
+        num_stages, num_micro_batches, num_batches=num_batches
+    )
+
+
+def one_f_one_b_occupancy(num_stages: int, num_samples: int) -> Occupancy:
+    """PipeDream-style 1F1B timing (Harlap et al. 2018).
+
+    In this fine-grained model (one sample per slot, every stage doing at
+    most one F and one B per step) steady-state 1F1B occupies exactly the
+    same cells as pipelined backpropagation: each worker alternates one
+    forward and one backward per step.  The schedules differ in *weight
+    semantics* (1F1B stashes the forward weights for the backward pass),
+    which timing grids cannot express — see
+    :class:`~repro.pipeline.schedule.OneFOneBSchedule`.
+    """
+    return pb_occupancy(num_stages, num_samples)
+
+
+def schedule_utilization(occ: Occupancy) -> float:
+    """Fraction of worker-step capacity used (1 F + 1 B per worker-step)."""
+    work = np.count_nonzero(occ.grid & FWD) + np.count_nonzero(occ.grid & BWD)
+    capacity = 2.0 * occ.grid.size
+    return work / capacity
+
+
+def render_occupancy(occ: Occupancy, max_cols: int = 120) -> str:
+    """ASCII rendering: rows are stages (top = first stage), columns time.
+
+    ``F`` forward only, ``B`` backward only, ``X`` both, ``.`` idle.
+    """
+    cols = min(occ.time_steps, max_cols)
+    lines = []
+    for s in range(occ.num_stages):
+        row = "".join(_CELL_CHARS[int(c)] for c in occ.grid[s, :cols])
+        lines.append(f"stage {s:3d} |{row}|")
+    if cols < occ.time_steps:
+        lines.append(f"... ({occ.time_steps - cols} more steps)")
+    return "\n".join(lines)
+
+
+def observed_stage_delays(occ: Occupancy) -> list[int]:
+    """Per-stage F->B distance of sample 0 (equals ``2(S-1-s)``)."""
+    delays = []
+    for s in range(occ.num_stages):
+        t_f = int(np.argmax(occ.fwd_sample[s] == 0))
+        t_b = int(np.argmax(occ.bwd_sample[s] == 0))
+        delays.append(t_b - t_f)
+    return delays

@@ -1,121 +1,266 @@
-"""Occupancy-grid timing model of pipeline schedules (Figures 1-2).
+"""Pluggable pipeline schedules: the decision layer of the executor.
 
-These are pure timing constructs (no numerics): a grid with one row per
-pipeline stage and one column per time step, each cell recording which
-sample's forward and/or backward transformation the worker performs.  Used
-to regenerate Figure 2 (utilization of fill-and-drain SGD at small/large
-batch vs pipelined backpropagation) and the Figure-1 style timelines.
+The cycle-accurate :class:`~repro.pipeline.executor.PipelineExecutor` is a
+discrete-time engine; *what* it does each step is decided by a
+:class:`Schedule`.  Once per time step the engine consults the schedule at
+three points:
+
+* **inject** — :meth:`Schedule.inject_size` returns how many samples to
+  inject as one packet at stage 0 this step (0 = hold injection, e.g.
+  while a fill-and-drain batch drains).  A packet moves through one stage
+  per step as a single vectorized ``(B, ...)`` operation.
+* **update** — after a stage finishes a packet's backward transformation,
+  :meth:`Schedule.update_after_backward` says whether that stage applies
+  its accumulated gradient immediately (update size one, the PB / 1F1B
+  discipline) or keeps accumulating (fill-and-drain / GPipe).
+* **end of step** — :meth:`Schedule.end_step` runs batch-boundary logic:
+  the synchronous schedules flush an averaged update once every sample of
+  the current mini-batch has drained.
+
+Two more knobs are static per schedule: :attr:`Schedule.micro_batch` (the
+nominal packet size) and :attr:`Schedule.stash_weights` (PipeDream-style
+per-stage weight stashing: every stage reuses its forward-pass weights on
+the backward pass, making each sample's pass consistent).
+
+Four schedules reproduce the systems the paper positions itself against:
+
+``pb``
+    Pipelined backpropagation (the paper's subject): continuous
+    injection, per-gradient updates, *no* stashing — forward weights lag
+    by eq. 5, backward weights are current (the PB inconsistency).
+``fill_drain``
+    Pipeline-parallel mini-batch SGD: inject ``N`` samples, drain, apply
+    the averaged update.  Numerically identical to sequential mini-batch
+    SGDM (the Figure-16 validation).
+``gpipe``
+    Micro-batched fill-and-drain (Huang et al. 2019; torchgpipe): the
+    mini-batch moves as ``M = N/B`` packets of ``B`` samples, each a
+    single vectorized op, recovering ``M/(M + 2S - 2)`` slot utilization
+    while keeping exact mini-batch SGDM semantics.
+``1f1b``
+    PipeDream's one-forward-one-backward with weight stashing (Harlap et
+    al. 2018): PB timing and per-gradient updates, but every stage
+    stashes its forward weights so forward and backward of a sample see
+    the same (stale) weights — zero inconsistency, staleness unchanged.
+
+The occupancy-grid *timing* models of these schedules live in
+:mod:`repro.pipeline.occupancy` (re-exported here for compatibility).
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-import numpy as np
+# Re-exported for callers that predate the occupancy/schedule split.
+from repro.pipeline.occupancy import (  # noqa: F401
+    BOTH,
+    BWD,
+    FWD,
+    IDLE,
+    Occupancy,
+    fill_drain_occupancy,
+    gpipe_occupancy,
+    observed_stage_delays,
+    one_f_one_b_occupancy,
+    pb_occupancy,
+    render_occupancy,
+    schedule_utilization,
+)
 
-#: Cell encoding: 0 idle, 1 forward only, 2 backward only, 3 both.
-IDLE, FWD, BWD, BOTH = 0, 1, 2, 3
-
-_CELL_CHARS = {IDLE: ".", FWD: "F", BWD: "B", BOTH: "X"}
+#: Canonical schedule names, in presentation order.
+SCHEDULE_NAMES = ("pb", "fill_drain", "gpipe", "1f1b")
 
 
 @dataclass
-class Occupancy:
-    """A stage x time occupancy grid plus per-cell sample ids."""
+class ScheduleState:
+    """Mutable per-run view the executor shares with the schedule."""
 
-    grid: np.ndarray  # (S, T) of {IDLE, FWD, BWD, BOTH}
-    fwd_sample: np.ndarray  # (S, T) sample id or -1
-    bwd_sample: np.ndarray  # (S, T) sample id or -1
-
-    @property
-    def num_stages(self) -> int:
-        return self.grid.shape[0]
-
-    @property
-    def time_steps(self) -> int:
-        return self.grid.shape[1]
+    num_samples: int
+    next_sample: int = 0  # next sample index to inject
+    completed: int = 0  # samples whose backward fully drained
+    step: int = 0  # time steps elapsed
 
 
-def _empty(S: int, T: int) -> Occupancy:
-    return Occupancy(
-        grid=np.zeros((S, T), dtype=np.int8),
-        fwd_sample=np.full((S, T), -1, dtype=np.int64),
-        bwd_sample=np.full((S, T), -1, dtype=np.int64),
+class Schedule(ABC):
+    """Per-step decisions: inject / update / flush / stash (see module
+    docstring).  Instances hold per-run state and are reset by the
+    executor at the start of every :meth:`PipelineExecutor.train` call,
+    so one schedule instance belongs to one executor."""
+
+    name: str = "?"
+    #: Samples per injected packet (the vectorized ``(B, ...)`` width).
+    micro_batch: int = 1
+    #: PipeDream weight stashing: backward reuses the forward weights.
+    stash_weights: bool = False
+    #: Samples averaged per weight update (1 for the per-gradient
+    #: schedules); hyperparameter scaling (eq. 9) keys off this.
+    update_size: int = 1
+
+    def reset(self, num_samples: int) -> None:
+        """Start a fresh run of ``num_samples`` samples."""
+
+    @abstractmethod
+    def inject_size(self, state: ScheduleState) -> int:
+        """Samples to inject as one packet this step (0 = none)."""
+
+    def update_after_backward(self, stage_index: int) -> bool:
+        """Apply the stage's gradient immediately after its backward?"""
+        return False
+
+    def end_step(self, executor, state: ScheduleState) -> None:
+        """Batch-boundary hook, called once per time step after both
+        sweeps (``executor`` grants access to ``flush_stages``)."""
+
+    def drain_span(self, num_samples: int, num_stages: int) -> int:
+        """Pipeline steps until the ``num_samples``-th sample's backward
+        drains at stage 0.  Continuous-injection schedules pay the fill
+        cost once: ``k + 2S - 2``.  Schedules with batch boundaries must
+        override this to match their injection gating."""
+        return num_samples + 2 * num_stages - 2
+
+    def describe(self) -> str:
+        return f"{self.name} (update_size={self.update_size}, " \
+               f"micro_batch={self.micro_batch})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class PipelinedBackpropSchedule(Schedule):
+    """``pb`` — continuous injection, update size one, no stashing."""
+
+    name = "pb"
+
+    def inject_size(self, state: ScheduleState) -> int:
+        return 1 if state.next_sample < state.num_samples else 0
+
+    def update_after_backward(self, stage_index: int) -> bool:
+        return True
+
+
+class OneFOneBSchedule(PipelinedBackpropSchedule):
+    """``1f1b`` — PipeDream semantics (Harlap et al. 2018).
+
+    In this fine-grained model PB's steady state already *is* one-forward-
+    one-backward per worker per step, so the timing is inherited from
+    :class:`PipelinedBackpropSchedule`; what changes is the weight
+    discipline: every stage stashes the weights used on a sample's
+    forward and reloads them around that sample's backward.  Forward
+    staleness still follows eq. 5, but forward and backward of a sample
+    are mutually consistent — equivalent to
+    :class:`~repro.core.delayed_sgd.DelayedSGDM` with the pipeline delay
+    profile and ``consistent=True`` (property-tested).
+    """
+
+    name = "1f1b"
+    stash_weights = True
+
+
+class FillDrainSchedule(Schedule):
+    """``fill_drain`` — synchronous mini-batch SGD, one sample per slot.
+
+    Injection is gated to the current mini-batch; once all its samples
+    have drained, every stage applies the averaged update (plain SGDM —
+    the pipeline is consistent and empty at that point).
+    """
+
+    name = "fill_drain"
+
+    def __init__(self, update_size: int):
+        if update_size < 1:
+            raise ValueError(
+                f"{self.name} needs update_size >= 1, got {update_size}"
+            )
+        self.update_size = int(update_size)
+        self._batch_start = 0
+
+    def reset(self, num_samples: int) -> None:
+        self._batch_start = 0
+
+    def _batch_end(self, state: ScheduleState) -> int:
+        return min(state.num_samples, self._batch_start + self.update_size)
+
+    def inject_size(self, state: ScheduleState) -> int:
+        return 1 if state.next_sample < self._batch_end(state) else 0
+
+    def end_step(self, executor, state: ScheduleState) -> None:
+        batch_n = self._batch_end(state) - self._batch_start
+        if batch_n and state.completed >= self._batch_start + batch_n:
+            executor.flush_stages(batch_n)
+            self._batch_start += batch_n
+
+    def drain_span(self, num_samples: int, num_stages: int) -> int:
+        """Synchronous schedules pay ``P + 2S - 2`` per mini-batch of
+        ``P`` packets (samples / micro-batch width); the final batch is
+        charged only for the packets it actually holds, so a sample in
+        the middle of a batch drains with that batch's partial span."""
+        if num_samples < 1:
+            return 0
+        fill = 2 * num_stages - 2
+        full_batches = (num_samples - 1) // self.update_size
+        remainder = num_samples - full_batches * self.update_size
+        packets_per_batch = -(-self.update_size // self.micro_batch)
+        remainder_packets = -(-remainder // self.micro_batch)
+        return (
+            full_batches * (packets_per_batch + fill)
+            + remainder_packets
+            + fill
+        )
+
+
+class GPipeSchedule(FillDrainSchedule):
+    """``gpipe`` — micro-batched fill-and-drain (Huang et al. 2019).
+
+    Identical update semantics to :class:`FillDrainSchedule` (averaged
+    update once the mini-batch drains) but samples travel in micro-batch
+    packets of ``micro_batch`` samples, each processed by a stage as one
+    vectorized ``(B, ...)`` NumPy op.  With ``micro_batch=1`` this *is*
+    fill-and-drain, bit for bit (golden-tested).
+    """
+
+    name = "gpipe"
+
+    def __init__(self, update_size: int, micro_batch_size: int = 1):
+        if micro_batch_size < 1:
+            raise ValueError(
+                f"gpipe needs micro_batch_size >= 1, got {micro_batch_size}"
+            )
+        if update_size == 1:
+            # the default "unset" update size: one micro-batch per update
+            update_size = micro_batch_size
+        elif update_size < micro_batch_size:
+            raise ValueError(
+                f"gpipe update_size ({update_size}) must be >= "
+                f"micro_batch_size ({micro_batch_size}), or 1 for one "
+                "micro-batch per update"
+            )
+        super().__init__(int(update_size))
+        self.micro_batch = int(micro_batch_size)
+
+    def inject_size(self, state: ScheduleState) -> int:
+        return max(
+            0, min(self.micro_batch, self._batch_end(state) - state.next_sample)
+        )
+
+
+def make_schedule(
+    mode: str, update_size: int = 1, micro_batch_size: int = 1
+) -> Schedule:
+    """Build a schedule by name (``pb``/``fill_drain``/``gpipe``/``1f1b``).
+
+    ``update_size`` applies to the synchronous schedules; for ``gpipe``,
+    ``micro_batch_size`` sets the packet width (and an ``update_size`` of
+    1 means "one micro-batch per update").
+    """
+    if mode == "pb":
+        return PipelinedBackpropSchedule()
+    if mode == "1f1b":
+        return OneFOneBSchedule()
+    if mode == "fill_drain":
+        return FillDrainSchedule(update_size)
+    if mode == "gpipe":
+        return GPipeSchedule(update_size, micro_batch_size)
+    raise ValueError(
+        f"mode must be one of {SCHEDULE_NAMES}, got {mode!r}"
     )
-
-
-def _mark_fwd(occ: Occupancy, s: int, t: int, sid: int) -> None:
-    occ.grid[s, t] |= FWD
-    occ.fwd_sample[s, t] = sid
-
-
-def _mark_bwd(occ: Occupancy, s: int, t: int, sid: int) -> None:
-    occ.grid[s, t] |= BWD
-    occ.bwd_sample[s, t] = sid
-
-
-def pb_occupancy(num_stages: int, num_samples: int) -> Occupancy:
-    """Pipelined backpropagation: continuous injection, one sample/step.
-
-    Sample ``i``: ``F_s`` at ``t = i + s``; ``B_s`` at ``t = i + 2S-2-s``
-    (the last stage does F and B of the same sample in one step).
-    """
-    S = num_stages
-    T = num_samples + 2 * S - 2
-    occ = _empty(S, T)
-    for i in range(num_samples):
-        for s in range(S):
-            _mark_fwd(occ, s, i + s, i)
-            _mark_bwd(occ, s, i + 2 * S - 2 - s, i)
-    return occ
-
-
-def fill_drain_occupancy(
-    num_stages: int, batch_size: int, num_batches: int = 1
-) -> Occupancy:
-    """Fill-and-drain mini-batch SGD: each batch takes ``N + 2S - 2``
-    steps; the next batch starts only after the previous drains."""
-    S = num_stages
-    span = batch_size + 2 * S - 2
-    T = span * num_batches
-    occ = _empty(S, T)
-    for b in range(num_batches):
-        t0 = b * span
-        for i in range(batch_size):
-            sid = b * batch_size + i
-            for s in range(S):
-                _mark_fwd(occ, s, t0 + i + s, sid)
-                _mark_bwd(occ, s, t0 + i + 2 * S - 2 - s, sid)
-    return occ
-
-
-def schedule_utilization(occ: Occupancy) -> float:
-    """Fraction of worker-step capacity used (1 F + 1 B per worker-step)."""
-    work = np.count_nonzero(occ.grid & FWD) + np.count_nonzero(occ.grid & BWD)
-    capacity = 2.0 * occ.grid.size
-    return work / capacity
-
-
-def render_occupancy(occ: Occupancy, max_cols: int = 120) -> str:
-    """ASCII rendering: rows are stages (top = first stage), columns time.
-
-    ``F`` forward only, ``B`` backward only, ``X`` both, ``.`` idle.
-    """
-    cols = min(occ.time_steps, max_cols)
-    lines = []
-    for s in range(occ.num_stages):
-        row = "".join(_CELL_CHARS[int(c)] for c in occ.grid[s, :cols])
-        lines.append(f"stage {s:3d} |{row}|")
-    if cols < occ.time_steps:
-        lines.append(f"... ({occ.time_steps - cols} more steps)")
-    return "\n".join(lines)
-
-
-def observed_stage_delays(occ: Occupancy) -> list[int]:
-    """Per-stage F->B distance of sample 0 (equals ``2(S-1-s)``)."""
-    delays = []
-    for s in range(occ.num_stages):
-        t_f = int(np.argmax(occ.fwd_sample[s] == 0))
-        t_b = int(np.argmax(occ.bwd_sample[s] == 0))
-        delays.append(t_b - t_f)
-    return delays

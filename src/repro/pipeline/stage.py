@@ -19,7 +19,15 @@ as its gradient arrives (update size one), with its *own* delay
 
 Payloads travelling between stages are lists of raw arrays
 ``[main, skip_0, ..)``; gradients travel backwards with the mirrored
-layout.
+layout.  Arrays carry a leading batch dimension: per-sample schedules
+send ``(1, ...)`` payloads, micro-batched schedules (GPipe) send
+``(B, ...)`` packets that each op processes in one vectorized call.
+
+Weight stashing engages through either of two doors: the *mitigation*
+(``MitigationConfig.stashing()``, an ablation on top of PB) or the
+*schedule* (:attr:`always_stash`, set by the executor for schedules whose
+semantics require it — PipeDream's 1F1B).  Both stash the forward weights
+and reload them around the backward pass.
 """
 
 from __future__ import annotations
@@ -75,6 +83,8 @@ class PipelineStage:
         self.updates_applied = 0
         self._pending_grads = 0
         self.stash: dict[int, _StashEntry] = {}
+        # schedule-driven weight stashing (1F1B), independent of mitigation
+        self.always_stash = False
         # observed (forward version, backward version) pairs for validation
         self.version_trace: list[tuple[int, int, int]] = []
         self.record_versions = False
@@ -111,7 +121,7 @@ class PipelineStage:
         the current (master) weights — the default PB inconsistency."""
         if not self.params:
             return None
-        if self.mitigation.weight_stashing:
+        if self.mitigation.weight_stashing or self.always_stash:
             return entry.stashed_weights
         pred = self.mitigation.prediction
         if pred.kind == "spectrain":
@@ -145,7 +155,7 @@ class PipelineStage:
                 p.data = w_hat
         try:
             entry = _StashEntry(version_at_forward=self.updates_applied)
-            if train and self.mitigation.weight_stashing:
+            if train and (self.mitigation.weight_stashing or self.always_stash):
                 entry.stashed_weights = [p.data.copy() for p in self.params]
             if spec.channel == -1:
                 x = Tensor(payload[-1], requires_grad=train)

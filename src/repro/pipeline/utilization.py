@@ -24,6 +24,19 @@ def fill_drain_utilization(num_stages: int, batch_size: int) -> float:
     return batch_size / (batch_size + 2 * num_stages - 2)
 
 
+def gpipe_utilization(num_stages: int, num_micro_batches: int) -> float:
+    """Slot utilization of GPipe-style micro-batched fill-and-drain.
+
+    Eq. 1 at micro-batch granularity: a mini-batch of ``M`` micro-batches
+    occupies ``M + 2S - 2`` steps of which ``M`` are fully utilized, so
+    utilization is ``M / (M + 2S - 2)`` — independent of the per-packet
+    width ``B`` because every slot carries ``B`` samples.
+    """
+    if num_stages < 1 or num_micro_batches < 1:
+        raise ValueError("need at least one stage and one micro-batch")
+    return num_micro_batches / (num_micro_batches + 2 * num_stages - 2)
+
+
 def pb_utilization(num_stages: int, total_samples: int) -> float:
     """Utilization of PB over a finite stream (one fill+drain total)."""
     if num_stages < 1 or total_samples < 1:

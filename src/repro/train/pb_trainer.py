@@ -16,12 +16,13 @@ from repro.data.synthetic import Dataset
 from repro.models.arch import StageGraphModel
 from repro.optim.scaling import HE_CIFAR_REFERENCE, HyperParams
 from repro.pipeline.executor import PipelineExecutor
+from repro.pipeline.schedule import Schedule, make_schedule
 from repro.train.metrics import TrainingHistory, evaluate
 from repro.utils.rng import derive_seed, new_rng
 
 
 class PipelinedTrainer:
-    """Train a stage-graph model with fine-grained PB (update size one).
+    """Train a stage-graph model through the pipeline engine.
 
     Parameters
     ----------
@@ -32,10 +33,18 @@ class PipelinedTrainer:
     mitigation:
         The delay mitigation (default: none — plain PB).
     reference:
-        Reference hyperparameters, scaled to batch size one via eq. 9
-        (default: the He et al. CIFAR setup).
+        Reference hyperparameters, scaled via eq. 9 to the schedule's
+        effective update size — 1 for the per-gradient schedules (``pb``,
+        ``1f1b``), ``update_size`` for the synchronous ones
+        (``fill_drain``, ``gpipe``) — (default: the He et al. CIFAR
+        setup).
     mode:
-        ``"pb"`` or ``"fill_drain"`` (the latter with ``update_size``).
+        Schedule name: ``"pb"``, ``"fill_drain"``, ``"gpipe"`` or
+        ``"1f1b"`` (``update_size`` / ``micro_batch_size`` apply to the
+        synchronous schedules).
+    schedule:
+        A ready-made :class:`~repro.pipeline.schedule.Schedule`; wins
+        over ``mode`` when given.
     """
 
     def __init__(
@@ -46,15 +55,22 @@ class PipelinedTrainer:
         reference: HyperParams = HE_CIFAR_REFERENCE,
         mode: str = "pb",
         update_size: int = 1,
+        micro_batch_size: int = 1,
         augment=None,
         lr_schedule: Callable[[int], float] | None = None,
         seed: int = 0,
         label: str | None = None,
+        schedule: Schedule | None = None,
     ):
         self.model = model
         self.dataset = dataset
         self.mitigation = mitigation or MitigationConfig.none()
-        scaled = reference.scaled_to(1 if mode == "pb" else update_size)
+        if schedule is None:
+            schedule = make_schedule(
+                mode, update_size=update_size, micro_batch_size=micro_batch_size
+            )
+        self.schedule = schedule
+        scaled = reference.scaled_to(schedule.update_size)
         self.hyperparams = scaled
         self.executor = PipelineExecutor(
             model,
@@ -62,8 +78,7 @@ class PipelinedTrainer:
             momentum=scaled.momentum,
             weight_decay=scaled.weight_decay,
             mitigation=self.mitigation,
-            mode=mode,
-            update_size=update_size,
+            schedule=schedule,
             lr_schedule=lr_schedule,
         )
         self.augment = augment

@@ -27,3 +27,23 @@ class TestCLI:
 
     def test_scale_flag(self, capsys):
         assert main(["fig02", "--scale", "bench"]) == 0
+
+
+class TestScheduleFlag:
+    def test_schedule_flag_restricts_comparison(self, capsys):
+        assert main(["schedule_comparison", "--schedule", "gpipe"]) == 0
+        out = capsys.readouterr().out
+        assert "gpipe" in out
+        assert "utilization" in out
+        # restricted to the one schedule: the others don't appear as rows
+        assert "fill_drain" not in out
+
+    def test_schedule_flag_lists_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["schedule_comparison", "--schedule", "magic"])
+        err = capsys.readouterr().err
+        assert "1f1b" in err
+
+    def test_schedule_flag_rejected_by_other_experiments(self):
+        with pytest.raises(ValueError):
+            main(["fig02", "--schedule", "pb"])

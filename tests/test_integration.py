@@ -169,7 +169,7 @@ class TestExperimentRegistry:
             "fig10", "fig12", "fig13", "fig14", "fig16", "fig17",
             "table1", "table2", "table3", "table4", "table6",
             "ablation_bn_vs_gn", "ablation_warmup",
-            "ablation_gradient_shrinking",
+            "ablation_gradient_shrinking", "schedule_comparison",
         }
         assert set(EXPERIMENTS) == expected
         for exp_id, (fn, desc) in EXPERIMENTS.items():
