@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments table1 --scale paper
     python -m repro.experiments fig08 --save    # also write results/<id>.json
     python -m repro.experiments schedule_comparison --schedule gpipe
+    python -m repro.experiments schedule_comparison --runtime threaded
+    python -m repro.experiments runtime_comparison
 """
 
 from __future__ import annotations
@@ -59,6 +61,12 @@ def main(argv: list[str] | None = None) -> int:
         "schedule_comparison) to one pipeline schedule",
     )
     parser.add_argument(
+        "--runtime", choices=["sim", "threaded"], default=None,
+        help="pipeline engine for runtime-aware experiments (e.g. "
+        "schedule_comparison): the discrete-time simulator (sim) or the "
+        "concurrent multi-worker runtime (threaded, free-running)",
+    )
+    parser.add_argument(
         "--save", action="store_true", help="persist to results/<id>.json"
     )
     args = parser.parse_args(argv)
@@ -74,7 +82,11 @@ def main(argv: list[str] | None = None) -> int:
     warnings.filterwarnings("ignore", category=RuntimeWarning)
     np.seterr(all="ignore")
     scale = get_scale(args.scale) if args.scale else None
-    overrides = {} if args.schedule is None else {"schedule": args.schedule}
+    overrides = {}
+    if args.schedule is not None:
+        overrides["schedule"] = args.schedule
+    if args.runtime is not None:
+        overrides["runtime"] = args.runtime
     payload = run_experiment(args.experiment, scale, **overrides)
     _print_payload(args.experiment, payload)
     if args.save:

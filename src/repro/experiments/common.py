@@ -33,7 +33,6 @@ from repro.models.resnet import preact_resnet50, preact_resnet_cifar
 from repro.models.vgg import build_vgg
 from repro.optim.sgd import SGDM
 from repro.pipeline.delays import pipeline_delay_profile
-from repro.pipeline.executor import PipelineExecutor
 from repro.tensor.tensor import Tensor, cross_entropy
 from repro.train.metrics import evaluate
 from repro.utils.rng import derive_seed, new_rng
@@ -193,13 +192,18 @@ def run_pb_executor(
     micro_batch_size: int = 1,
     record_curve: bool = False,
     samples: int | None = None,
+    runtime: str = "sim",
+    lockstep: bool = False,
 ) -> dict:
-    """Stream samples through the pipeline executor; return final metrics.
+    """Stream samples through the pipeline engine; return final metrics.
 
     ``mode`` names any registered schedule (``pb``/``fill_drain``/
     ``gpipe``/``1f1b``); hyperparameters are eq.-9-scaled to the
-    schedule's effective update size.
+    schedule's effective update size.  ``runtime`` picks the engine:
+    ``"sim"`` is the discrete-time executor, ``"threaded"`` the
+    concurrent multi-worker runtime (free-running unless ``lockstep``).
     """
+    from repro.pipeline.runtime import make_pipeline_engine
     from repro.pipeline.schedule import make_schedule
 
     sched = make_schedule(
@@ -208,7 +212,8 @@ def run_pb_executor(
     hp = scale.reference.scaled_to(sched.update_size)
     total = samples if samples is not None else scale.pb_samples
     lr_mult, warm_frac = _tweaks_for(model, scale)
-    ex = PipelineExecutor(
+    ex = make_pipeline_engine(
+        runtime,
         model,
         lr=hp.lr * lr_mult,
         momentum=hp.momentum,
@@ -216,6 +221,7 @@ def run_pb_executor(
         mitigation=mitigation,
         schedule=sched,
         lr_schedule=_warmup(hp.lr * lr_mult, total, warm_frac),
+        lockstep=lockstep,
     )
     rng = new_rng(derive_seed(seed, "pb", model.name, mitigation.name))
     curve: list[tuple[int, float]] = []

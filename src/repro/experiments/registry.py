@@ -97,6 +97,11 @@ EXPERIMENTS: dict[str, tuple[Callable[..., dict], str]] = {
         "Extension — PB vs fill-drain vs GPipe vs 1F1B: steps-to-loss "
         "and utilization per schedule",
     ),
+    "runtime_comparison": (
+        extensions.runtime_comparison,
+        "Extension — discrete-time simulator vs concurrent multi-worker "
+        "runtime: lockstep bit-exactness + free-running wall-clock",
+    ),
 }
 
 

@@ -13,6 +13,10 @@
 * :mod:`~repro.pipeline.executor` — the cycle-accurate, schedule-driven
   engine running any of the above over a
   :class:`~repro.models.arch.StageGraphModel`.
+* :mod:`~repro.pipeline.runtime` — the concurrent multi-worker runtime:
+  one thread per stage, packets through per-stage queues, driven by the
+  same schedules.  Lockstep mode is bit-exact with the executor;
+  free-running mode measures real per-stage busy/idle wall-clock time.
 * :mod:`~repro.pipeline.occupancy` — occupancy-grid timing models for
   Figures 1-2 and the schedule-comparison example.
 * :mod:`~repro.pipeline.utilization` — closed-form utilization (eq. 1,
@@ -39,6 +43,13 @@ from repro.pipeline.schedule import (
     make_schedule,
 )
 from repro.pipeline.executor import PipelineExecutor, PipelineRunStats
+from repro.pipeline.runtime import (
+    ConcurrentPipelineRunner,
+    PipelineRuntimeError,
+    RuntimeStats,
+    StageRuntimeStats,
+    make_pipeline_engine,
+)
 from repro.pipeline.occupancy import (
     pb_occupancy,
     fill_drain_occupancy,
@@ -78,6 +89,11 @@ __all__ = [
     "make_schedule",
     "PipelineExecutor",
     "PipelineRunStats",
+    "ConcurrentPipelineRunner",
+    "PipelineRuntimeError",
+    "RuntimeStats",
+    "StageRuntimeStats",
+    "make_pipeline_engine",
     "pb_occupancy",
     "fill_drain_occupancy",
     "gpipe_occupancy",

@@ -79,6 +79,17 @@ def softmax_xent_grad(
     return float(losses[0]), grad.reshape(logits.shape)
 
 
+def check_stages_drained(stages: Sequence["PipelineStage"]) -> None:
+    """Raise if any stage still holds stashed packets after a run —
+    shared post-train invariant of both pipeline engines."""
+    for st in stages:
+        if st.stash:
+            raise RuntimeError(
+                f"stage {st.index} finished with {len(st.stash)} stashed "
+                "packets — pipeline did not drain"
+            )
+
+
 @dataclass
 class _Packet:
     """A group of consecutive samples travelling the pipeline together."""
@@ -110,6 +121,11 @@ class PipelineRunStats:
     backward_samples: int = 0
     micro_batch: int = 1
     schedule: str = "pb"
+    #: Measured wall-clock stats when the run came from the threaded
+    #: :class:`~repro.pipeline.runtime.ConcurrentPipelineRunner`
+    #: (a :class:`~repro.pipeline.runtime.RuntimeStats`); ``None`` for
+    #: discrete-time simulator runs.
+    runtime: object | None = None
 
     @property
     def utilization(self) -> float:
@@ -120,16 +136,26 @@ class PipelineRunStats:
         sample transformations (``2 * S * T * B``) and work in actual
         sample transformations — a partially-filled tail micro-batch
         counts fractionally rather than as a full op.
+
+        A zero-step run (empty stream) has zero capacity *and* zero
+        work; its utilization is defined as 0.0 rather than left to a
+        0/0 accident.
         """
+        if self.time_steps <= 0:
+            return 0.0
         width = max(self.micro_batch, 1)
-        capacity = 2.0 * self.num_stages * max(self.time_steps, 1) * width
+        capacity = 2.0 * self.num_stages * self.time_steps * width
         work = self.forward_samples + self.backward_samples
-        if work == 0:  # legacy construction without sample counts
+        if self.forward_ops + self.backward_ops > 0 and work == 0:
+            # legacy construction with op counts but no sample counts
             work = self.forward_ops + self.backward_ops
         return work / capacity
 
     @property
     def mean_loss(self) -> float:
+        """Mean per-sample loss; NaN (not a crash, not 0.0) for the
+        empty stream, so downstream aggregation can't mistake a run
+        that never saw data for a perfectly-converged one."""
         return float(self.losses.mean()) if self.losses.size else float("nan")
 
 
@@ -209,12 +235,7 @@ class PipelineExecutor:
         if X.shape[0] != Y.shape[0]:
             raise ValueError("X and Y length mismatch")
         stats = self._run(X, Y)
-        for st in self.stages:
-            if st.stash:
-                raise RuntimeError(
-                    f"stage {st.index} finished with {len(st.stash)} stashed "
-                    "packets — pipeline did not drain"
-                )
+        check_stages_drained(self.stages)
         return stats
 
     def _run(self, X: np.ndarray, Y: np.ndarray) -> PipelineRunStats:

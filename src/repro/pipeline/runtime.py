@@ -1,0 +1,788 @@
+"""Concurrent multi-worker pipeline runtime (wall-clock counterpart of
+:class:`~repro.pipeline.executor.PipelineExecutor`).
+
+The executor is a discrete-time *simulation*: one Python loop plays every
+stage's forward and backward sweep sequentially, so its utilization
+numbers are modeled, never measured.  This module executes the same
+pipeline the way PipeDream (Harlap et al. 2018) and torchgpipe (Kim et
+al. 2020) actually run one: **one worker thread per stage**, packets
+moving through per-stage inbound queues, each stage transforming a
+``(B, ...)`` micro-batch the moment it has one.  The
+:class:`~repro.pipeline.schedule.Schedule` protocol is reused unchanged —
+injection gating, per-gradient vs averaged updates and weight stashing
+are the schedule's decisions in both engines.
+
+Mapping onto PipeDream's worker model
+-------------------------------------
+
+PipeDream structures pipeline-parallel training as per-stage workers
+that (1) pull activations from an inbound forward queue, (2) pull
+gradients from an inbound backward queue, (3) prefer backward work so
+the pipeline drains, and (4) bound the number of in-flight mini-batches
+per stage so weight staleness — and activation-stash memory — stay
+bounded.  :class:`ConcurrentPipelineRunner` reproduces exactly that
+shape:
+
+* each :class:`~repro.pipeline.stage.PipelineStage` gets one worker
+  thread and one :class:`_Channel` (a forward deque + a backward deque
+  guarded by one condition variable);
+* workers give **backward priority**: an arrived gradient is always
+  processed before the next activation, which is PipeDream's drain rule
+  and this runtime's deadlock-freedom argument (the oldest in-flight
+  packet can always make progress because backward work is never gated);
+* each stage admits a new forward only while fewer than
+  ``D_s + 1 = 2(S-1-s) + 1`` packets are between their forward and
+  backward at that stage.  This is PipeDream's in-flight bound; here it
+  additionally guarantees the paper's eq. 5 *as an inequality*: the
+  forward pass of sample ``i`` at stage ``s`` sees **at least**
+  ``max(0, i - 2(S-1-s))`` updates applied (never staler than the
+  discrete-time model), and trivially at most ``i``.
+
+Two execution modes
+-------------------
+
+**lockstep** (``lockstep=True``, the default) inserts a barrier per
+simulated time step: the coordinator scatters at most one forward and
+one backward packet to every worker, waits for all of them, then runs
+the schedule's batch-boundary hook — the exact control flow of
+``PipelineExecutor._run`` with the per-stage work done concurrently.
+Because no two stages share mutable state within a step (packets
+produced in step ``t`` are consumed in ``t+1``; each stage's own
+forward-before-backward order is preserved inside its worker), a
+lockstep run is **bit-exact** with the simulator for every schedule —
+the testable contract pinned by ``tests/test_runtime_parity.py``.
+
+**free-running** (``lockstep=False``) drops the barrier: stages proceed
+as soon as a packet arrives, which is the paper's actual claim — fine-
+grained pipelining keeps all stages busy in *wall-clock* time.  Losses
+and final weights are no longer bit-reproducible for the asynchronous
+schedules (``pb``/``1f1b``), because how far a gradient has travelled
+when a forward happens now depends on thread timing; what *is*
+guaranteed is the eq.-5 staleness ceiling above, packet FIFO ordering
+per stage, and exact schedule semantics for the synchronous schedules'
+updates (``fill_drain``/``gpipe`` still flush the averaged update only
+once the batch has fully drained, so their per-update math is unchanged;
+only the loss *values* recorded while a batch is in flight can differ
+for schedules that update mid-stream).
+
+Every run produces a :class:`RuntimeStats` with measured per-stage
+busy/idle wall-clock time and per-stage op counts; the op counts equal
+the modeled occupancy-grid totals of :mod:`repro.pipeline.occupancy`
+row by row (property-tested), tying the measured runtime back to the
+paper's timing model.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.mitigation import MitigationConfig
+from repro.models.arch import StageGraphModel
+from repro.pipeline.executor import (
+    PipelineExecutor,
+    PipelineRunStats,
+    _Packet,
+    check_stages_drained,
+    softmax_xent_grad_batch,
+)
+from repro.pipeline.schedule import Schedule, ScheduleState
+
+#: Seconds any single coordinator wait may block before the run is
+#: declared stalled.  Generous for real work, small enough that a
+#: deadlocked test fails loudly instead of hanging CI.
+DEFAULT_STALL_TIMEOUT = 60.0
+
+_STOP = object()  # lockstep command-queue sentinel
+
+
+class PipelineRuntimeError(RuntimeError):
+    """A worker thread died; carries the stage index and original error."""
+
+    def __init__(self, stage_index: int, cause: BaseException):
+        super().__init__(
+            f"pipeline stage {stage_index} worker failed: {cause!r}"
+        )
+        self.stage_index = stage_index
+        self.cause = cause
+
+
+@dataclass
+class StageRuntimeStats:
+    """Measured per-stage activity of one threaded run."""
+
+    index: int
+    forward_ops: int = 0
+    backward_ops: int = 0
+    forward_samples: int = 0
+    backward_samples: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def busy_steps(self) -> int:
+        """Slot occupancy: one per packet transformation, the measured
+        counterpart of one non-idle cell in an occupancy grid row."""
+        return self.forward_ops + self.backward_ops
+
+
+@dataclass
+class RuntimeStats:
+    """Wall-clock outcome of one :class:`ConcurrentPipelineRunner` run.
+
+    ``wall_seconds`` spans first injection to last completion; each
+    stage's ``busy_seconds`` sums its time inside forward/backward
+    transformations, so ``idle_seconds(s)`` is measured (not modeled)
+    pipeline bubble time.
+    """
+
+    mode: str  # "lockstep" | "free_running"
+    schedule: str
+    num_stages: int
+    wall_seconds: float = 0.0
+    stages: list[StageRuntimeStats] = field(default_factory=list)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(st.busy_seconds for st in self.stages)
+
+    def busy_fraction(self, stage_index: int) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.stages[stage_index].busy_seconds / self.wall_seconds
+
+    def idle_seconds(self, stage_index: int) -> float:
+        return max(
+            0.0, self.wall_seconds - self.stages[stage_index].busy_seconds
+        )
+
+    @property
+    def mean_busy_fraction(self) -> float:
+        if not self.stages:
+            return 0.0
+        return sum(
+            self.busy_fraction(s.index) for s in self.stages
+        ) / len(self.stages)
+
+    def summary_rows(self) -> list[dict]:
+        """One row per stage, ready for ``format_table``."""
+        return [
+            {
+                "stage": st.index,
+                "fwd_ops": st.forward_ops,
+                "bwd_ops": st.backward_ops,
+                "busy_s": round(st.busy_seconds, 6),
+                "busy_frac": round(self.busy_fraction(st.index), 4),
+            }
+            for st in self.stages
+        ]
+
+
+@dataclass
+class _WorkerFailure:
+    """Posted to the completion queue when a worker dies."""
+
+    stage_index: int
+    error: BaseException
+
+
+class _Channel:
+    """A stage's inbound mailbox: forward + backward deques, one lock.
+
+    Backward packets are kept separate from forward packets so the
+    worker can give them priority without scanning a mixed queue.
+    """
+
+    __slots__ = ("cond", "fwd", "bwd", "closed")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.fwd: deque[_Packet] = deque()
+        self.bwd: deque[_Packet] = deque()
+        self.closed = False
+
+    def put_fwd(self, pkt: _Packet) -> None:
+        with self.cond:
+            self.fwd.append(pkt)
+            self.cond.notify_all()
+
+    def put_bwd(self, pkt: _Packet) -> None:
+        with self.cond:
+            self.bwd.append(pkt)
+            self.cond.notify_all()
+
+    def close(self) -> None:
+        with self.cond:
+            self.closed = True
+            self.cond.notify_all()
+
+
+class _SimpleQueue:
+    """Tiny blocking FIFO (threading.Condition based).
+
+    ``queue.SimpleQueue`` would do; this variant exists so the stress
+    tests can reason about exactly one synchronization primitive and so
+    ``get`` can raise a stall error with context instead of ``Empty``.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+
+    def put(self, item) -> None:
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def get(self, timeout: float, what: str):
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while not self._items:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    raise RuntimeError(
+                        f"pipeline runtime stalled waiting for {what} "
+                        f"({timeout:.1f}s) — likely deadlock or a dead "
+                        "worker"
+                    )
+                self._cond.wait(remaining)
+            return self._items.popleft()
+
+
+class ConcurrentPipelineRunner:
+    """Execute a :class:`StageGraphModel` pipeline with one worker thread
+    per stage (see module docstring for the design).
+
+    The constructor mirrors :class:`PipelineExecutor` (it builds one
+    internally, sharing stages, schedule and optimizer state), plus:
+
+    lockstep:
+        ``True`` for the barrier-per-time-step mode that is bit-exact
+        with the simulator; ``False`` (default, matching
+        :func:`make_pipeline_engine`) for free-running.  The default is
+        the performance mode — pass ``lockstep=True`` explicitly
+        wherever reproducibility matters.
+    jitter:
+        Maximum per-op random sleep in seconds injected into every
+        worker loop (0 disables).  Used by the concurrency stress tests
+        to randomize thread interleavings; lockstep results must be —
+        and are — unchanged under any jitter.
+    jitter_seed:
+        Seed for the per-worker jitter RNGs (deterministic schedule of
+        sleeps, nondeterministic OS interleaving).
+    stall_timeout:
+        Seconds any coordinator wait may block before the run raises
+        instead of hanging.
+    """
+
+    def __init__(
+        self,
+        model: StageGraphModel,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        mitigation: MitigationConfig | None = None,
+        mode: str = "pb",
+        update_size: int = 1,
+        micro_batch_size: int = 1,
+        lr_schedule: Callable[[int], float] | None = None,
+        record_versions: bool = False,
+        schedule: Schedule | None = None,
+        lockstep: bool = False,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+    ):
+        self._executor = PipelineExecutor(
+            model,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            mitigation=mitigation,
+            mode=mode,
+            update_size=update_size,
+            micro_batch_size=micro_batch_size,
+            lr_schedule=lr_schedule,
+            record_versions=record_versions,
+            schedule=schedule,
+        )
+        self.lockstep = bool(lockstep)
+        self.jitter = float(jitter)
+        self.jitter_seed = int(jitter_seed)
+        self.stall_timeout = float(stall_timeout)
+        self.last_runtime_stats: RuntimeStats | None = None
+        self._threads: list[threading.Thread] = []
+
+    # -- executor facade (keeps PipelinedTrainer/run_pb_executor happy) ----
+
+    @property
+    def model(self) -> StageGraphModel:
+        return self._executor.model
+
+    @property
+    def stages(self):
+        return self._executor.stages
+
+    @property
+    def schedule(self) -> Schedule:
+        return self._executor.schedule
+
+    @property
+    def mode(self) -> str:
+        return self._executor.mode
+
+    @property
+    def update_size(self) -> int:
+        return self._executor.update_size
+
+    @property
+    def num_stages(self) -> int:
+        return self._executor.num_stages
+
+    @property
+    def samples_completed(self) -> int:
+        return self._executor.samples_completed
+
+    @property
+    def lr_schedule(self):
+        return self._executor.lr_schedule
+
+    def set_lr(self, lr: float) -> None:
+        self._executor.set_lr(lr)
+
+    def flush_stages(self, count: int) -> None:
+        self._executor.flush_stages(count)
+
+    @property
+    def runtime_mode(self) -> str:
+        return "lockstep" if self.lockstep else "free_running"
+
+    # -- shared per-stage transformations ----------------------------------
+    #
+    # These mirror the simulator's forward/backward sweep bodies
+    # (executor._run): loss-stage seeding, update_after_backward, and the
+    # op/sample accounting must stay in sync with it.  The bit-exact
+    # parity goldens (tests/test_runtime_parity.py) pin that equivalence —
+    # any unsynced change to either engine fails them at hex level.
+
+    def _do_forward(
+        self,
+        s: int,
+        pkt: _Packet,
+        Y: np.ndarray,
+        losses: np.ndarray,
+        counters: StageRuntimeStats,
+    ) -> tuple[_Packet | None, _Packet | None]:
+        """One forward transformation at stage ``s``.
+
+        Returns ``(downstream_fwd, seeded_bwd)``; the loss stage
+        produces the seeded backward packet (consumed the same step,
+        exactly as the simulator seeds ``bwd_in`` during its forward
+        sweep), every other stage produces the downstream forward.
+        """
+        stage = self.stages[s]
+        if stage.spec.kind == "loss":
+            lvec, glogits = softmax_xent_grad_batch(
+                pkt.payload[0], Y[pkt.start : pkt.start + pkt.size]
+            )
+            losses[pkt.start : pkt.start + pkt.size] = lvec
+            counters.forward_ops += 1
+            counters.forward_samples += pkt.size
+            return None, _Packet(pkt.pid, pkt.start, pkt.size, [glogits])
+        out = stage.forward(pkt.pid, pkt.payload)
+        counters.forward_ops += 1
+        counters.forward_samples += pkt.size
+        return _Packet(pkt.pid, pkt.start, pkt.size, out), None
+
+    def _do_backward(
+        self, s: int, pkt: _Packet, counters: StageRuntimeStats
+    ) -> tuple[_Packet | None, int]:
+        """One backward transformation at stage ``s``.
+
+        Returns ``(upstream_bwd, completed_samples)``; only stage 0
+        reports completions.
+        """
+        stage = self.stages[s]
+        upstream = stage.backward(pkt.pid, pkt.payload)
+        if self.schedule.update_after_backward(s):
+            stage.apply_update()
+        counters.backward_ops += 1
+        counters.backward_samples += pkt.size
+        if s > 0:
+            return _Packet(pkt.pid, pkt.start, pkt.size, upstream), 0
+        return None, pkt.size
+
+    def _jitter_rng(self, s: int) -> np.random.Generator | None:
+        if self.jitter <= 0.0:
+            return None
+        return np.random.default_rng(
+            (self.jitter_seed * 1_000_003 + s) & 0xFFFFFFFF
+        )
+
+    # -- public entry -------------------------------------------------------
+
+    def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
+        """Stream all samples through the threaded pipeline (training)."""
+        X = np.asarray(X)
+        Y = np.asarray(Y)
+        if X.shape[0] != Y.shape[0]:
+            raise ValueError("X and Y length mismatch")
+        self.schedule.reset(X.shape[0])
+        if self.lockstep:
+            stats = self._run_lockstep(X, Y)
+        else:
+            stats = self._run_free(X, Y)
+        check_stages_drained(self.stages)
+        return stats
+
+    def _finish_stats(
+        self,
+        losses: np.ndarray,
+        time_steps: int,
+        counters: list[StageRuntimeStats],
+        runtime: RuntimeStats,
+    ) -> PipelineRunStats:
+        self.last_runtime_stats = runtime
+        return PipelineRunStats(
+            losses=losses,
+            time_steps=time_steps,
+            forward_ops=sum(c.forward_ops for c in counters),
+            backward_ops=sum(c.backward_ops for c in counters),
+            num_stages=self.num_stages,
+            samples=losses.shape[0],
+            updates_per_stage=[st.updates_applied for st in self.stages],
+            forward_samples=sum(c.forward_samples for c in counters),
+            backward_samples=sum(c.backward_samples for c in counters),
+            micro_batch=self.schedule.micro_batch,
+            schedule=self.schedule.name,
+            runtime=runtime,
+        )
+
+    # -- lockstep mode -------------------------------------------------------
+
+    def _run_lockstep(self, X: np.ndarray, Y: np.ndarray) -> PipelineRunStats:
+        n = X.shape[0]
+        S = self.num_stages
+        sched = self.schedule
+        state = ScheduleState(num_samples=n)
+        losses = np.zeros(n)
+        counters = [StageRuntimeStats(index=s) for s in range(S)]
+        cmd_qs = [_SimpleQueue() for _ in range(S)]
+        res_q = _SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._lockstep_worker,
+                args=(s, cmd_qs[s], res_q, Y, losses, counters[s]),
+                name=f"pipeline-stage-{s}",
+                daemon=True,
+            )
+            for s in range(S)
+        ]
+        for t in self._threads:
+            t.start()
+
+        fwd_in: dict[int, _Packet] = {}
+        bwd_in: dict[int, _Packet] = {}
+        t0 = time.perf_counter()
+        try:
+            while state.next_sample < n or fwd_in or bwd_in:
+                # inject one new packet if the first stage is free (the
+                # simulator's gate, kept verbatim)
+                if state.next_sample < n and 0 not in fwd_in:
+                    size = min(
+                        sched.inject_size(state), n - state.next_sample
+                    )
+                    if size > 0:
+                        i = state.next_sample
+                        fwd_in[0] = _Packet(i, i, size, [X[i : i + size]])
+                        state.next_sample += size
+
+                # scatter: every worker steps once, concurrently
+                for s in range(S):
+                    cmd_qs[s].put(
+                        ("step", fwd_in.pop(s, None), bwd_in.pop(s, None))
+                    )
+                # gather: the barrier — collect all S results
+                failure: _WorkerFailure | None = None
+                new_fwd: dict[int, _Packet] = {}
+                new_bwd: dict[int, _Packet] = {}
+                completed = 0
+                for _ in range(S):
+                    item = res_q.get(self.stall_timeout, "a lockstep step")
+                    if isinstance(item, _WorkerFailure):
+                        failure = failure or item
+                        continue
+                    s, fwd_out, bwd_out, done = item
+                    if fwd_out is not None:
+                        new_fwd[s + 1] = fwd_out
+                    if bwd_out is not None:
+                        new_bwd[s - 1] = bwd_out
+                    completed += done
+                if failure is not None:
+                    raise PipelineRuntimeError(
+                        failure.stage_index, failure.error
+                    ) from failure.error
+                state.completed += completed
+                self._executor.samples_completed += completed
+                fwd_in, bwd_in = new_fwd, new_bwd
+                state.step += 1
+
+                # batch boundaries + LR schedule run at the barrier, so
+                # every stage sees them atomically (as in the simulator)
+                sched.end_step(self._executor, state)
+                if self.lr_schedule is not None:
+                    self.set_lr(
+                        self.lr_schedule(self._executor.samples_completed)
+                    )
+        finally:
+            for q in cmd_qs:
+                q.put(_STOP)
+            self._join_workers()
+
+        runtime = RuntimeStats(
+            mode="lockstep",
+            schedule=sched.name,
+            num_stages=S,
+            wall_seconds=time.perf_counter() - t0,
+            stages=counters,
+        )
+        return self._finish_stats(losses, state.step, counters, runtime)
+
+    def _lockstep_worker(
+        self,
+        s: int,
+        cmd_q: _SimpleQueue,
+        res_q: _SimpleQueue,
+        Y: np.ndarray,
+        losses: np.ndarray,
+        counters: StageRuntimeStats,
+    ) -> None:
+        rng = self._jitter_rng(s)
+        while True:
+            cmd = cmd_q.get(self.stall_timeout * 10, f"stage {s} command")
+            if cmd is _STOP:
+                return
+            _, fwd_pkt, bwd_pkt = cmd
+            try:
+                if rng is not None:
+                    time.sleep(rng.uniform(0.0, self.jitter))
+                t0 = time.perf_counter()
+                fwd_out = None
+                completed = 0
+                # forward before backward inside one step, exactly as the
+                # simulator's forward sweep precedes its backward sweep
+                if fwd_pkt is not None:
+                    fwd_out, seeded = self._do_forward(
+                        s, fwd_pkt, Y, losses, counters
+                    )
+                    if seeded is not None:
+                        # the loss stage consumes its own seed this step
+                        bwd_pkt = seeded
+                bwd_out = None
+                if bwd_pkt is not None:
+                    bwd_out, completed = self._do_backward(
+                        s, bwd_pkt, counters
+                    )
+                counters.busy_seconds += time.perf_counter() - t0
+                res_q.put((s, fwd_out, bwd_out, completed))
+            except BaseException as exc:  # propagate, never hang the barrier
+                res_q.put(_WorkerFailure(s, exc))
+
+    # -- free-running mode ---------------------------------------------------
+
+    def _run_free(self, X: np.ndarray, Y: np.ndarray) -> PipelineRunStats:
+        n = X.shape[0]
+        S = self.num_stages
+        sched = self.schedule
+        state = ScheduleState(num_samples=n)
+        losses = np.zeros(n)
+        counters = [StageRuntimeStats(index=s) for s in range(S)]
+        channels = [_Channel() for _ in range(S)]
+        completion_q = _SimpleQueue()
+        abort = threading.Event()
+        #: completion order invariant: stage-0 backwards arrive FIFO
+        self.completion_order: list[int] = []
+
+        self._threads = [
+            threading.Thread(
+                target=self._free_worker,
+                args=(s, channels, completion_q, abort, Y, losses,
+                      counters[s]),
+                name=f"pipeline-stage-{s}",
+                daemon=True,
+            )
+            for s in range(S)
+        ]
+        t0 = time.perf_counter()
+        for t in self._threads:
+            t.start()
+
+        try:
+            while state.completed < n:
+                # inject every packet the schedule currently allows; the
+                # per-stage in-flight caps provide the backpressure
+                while state.next_sample < n:
+                    size = min(
+                        sched.inject_size(state), n - state.next_sample
+                    )
+                    if size <= 0:
+                        break
+                    i = state.next_sample
+                    channels[0].put_fwd(
+                        _Packet(i, i, size, [X[i : i + size]])
+                    )
+                    state.next_sample += size
+
+                item = completion_q.get(self.stall_timeout, "a completion")
+                if isinstance(item, _WorkerFailure):
+                    raise PipelineRuntimeError(
+                        item.stage_index, item.error
+                    ) from item.error
+                start, size = item
+                self.completion_order.append(start)
+                state.completed += size
+                self._executor.samples_completed += size
+                # batch boundaries: when a synchronous schedule's batch has
+                # fully drained, every worker is idle (stage 0's backward is
+                # globally last), so flushing from here is race-free
+                sched.end_step(self._executor, state)
+                if self.lr_schedule is not None:
+                    self.set_lr(
+                        self.lr_schedule(self._executor.samples_completed)
+                    )
+        except BaseException:
+            abort.set()
+            raise
+        finally:
+            for ch in channels:
+                ch.close()
+            self._join_workers()
+
+        runtime = RuntimeStats(
+            mode="free_running",
+            schedule=sched.name,
+            num_stages=S,
+            wall_seconds=time.perf_counter() - t0,
+            stages=counters,
+        )
+        # free-running has no global clock; report the modeled span (what
+        # lockstep/sim would take) so utilization stays comparable
+        time_steps = sched.drain_span(n, S) if n else 0
+        return self._finish_stats(losses, time_steps, counters, runtime)
+
+    def _free_worker(
+        self,
+        s: int,
+        channels: list[_Channel],
+        completion_q: _SimpleQueue,
+        abort: threading.Event,
+        Y: np.ndarray,
+        losses: np.ndarray,
+        counters: StageRuntimeStats,
+    ) -> None:
+        stage = self.stages[s]
+        ch = channels[s]
+        rng = self._jitter_rng(s)
+        # PipeDream in-flight bound: at most D_s + 1 packets between their
+        # forward and backward here.  This is what turns eq. 5 into a
+        # guaranteed staleness ceiling (see module docstring).
+        cap = stage.delay + 1
+        in_flight = 0
+        while True:
+            with ch.cond:
+                item = None
+                while item is None:
+                    if abort.is_set():
+                        return
+                    if ch.bwd:  # backward priority: drain first
+                        item = ("bwd", ch.bwd.popleft())
+                    elif ch.fwd and in_flight < cap:
+                        item = ("fwd", ch.fwd.popleft())
+                    elif ch.closed and not ch.fwd and not ch.bwd:
+                        return
+                    else:
+                        ch.cond.wait(0.05)  # re-check abort periodically
+            kind, pkt = item
+            try:
+                if rng is not None:
+                    time.sleep(rng.uniform(0.0, self.jitter))
+                t0 = time.perf_counter()
+                if kind == "fwd":
+                    fwd_out, seeded = self._do_forward(
+                        s, pkt, Y, losses, counters
+                    )
+                    if fwd_out is not None:
+                        in_flight += 1
+                        channels[s + 1].put_fwd(fwd_out)
+                    elif seeded is not None:
+                        # loss stage: forward seeds its own backward and
+                        # processes it immediately (same-step semantics)
+                        bwd_out, completed = self._do_backward(
+                            s, seeded, counters
+                        )
+                        if bwd_out is not None:
+                            channels[s - 1].put_bwd(bwd_out)
+                        if completed:
+                            completion_q.put((pkt.start, completed))
+                else:
+                    bwd_out, completed = self._do_backward(s, pkt, counters)
+                    in_flight -= 1
+                    if bwd_out is not None:
+                        channels[s - 1].put_bwd(bwd_out)
+                    if completed:
+                        completion_q.put((pkt.start, completed))
+                counters.busy_seconds += time.perf_counter() - t0
+            except BaseException as exc:
+                abort.set()
+                completion_q.put(_WorkerFailure(s, exc))
+                for other in channels:
+                    with other.cond:
+                        other.cond.notify_all()
+                return
+
+    # -- shutdown -------------------------------------------------------------
+
+    def _join_workers(self) -> None:
+        deadline = time.monotonic() + self.stall_timeout
+        for t in self._threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+        alive = [t.name for t in self._threads if t.is_alive()]
+        self._threads = []
+        if alive and sys.exc_info()[0] is None:
+            # only complain when no richer error (worker failure, stall)
+            # is already propagating — never mask the root cause.  A
+            # straggler is a daemon that will exit once its in-flight op
+            # returns and it observes the abort/closed flags.
+            raise RuntimeError(
+                f"pipeline workers failed to shut down: {alive}"
+            )
+
+
+def make_pipeline_engine(
+    runtime: str,
+    model: StageGraphModel,
+    lr: float,
+    lockstep: bool = False,
+    **kwargs: Any,
+) -> PipelineExecutor | ConcurrentPipelineRunner:
+    """Build the requested pipeline engine behind one switch.
+
+    ``runtime="sim"`` returns the discrete-time :class:`PipelineExecutor`;
+    ``runtime="threaded"`` returns a :class:`ConcurrentPipelineRunner`
+    (free-running unless ``lockstep=True``).  Both expose the same
+    ``train``/``samples_completed``/``set_lr`` surface, so callers like
+    :class:`~repro.train.pb_trainer.PipelinedTrainer` switch engines
+    without touching their training loops.
+    """
+    if runtime == "sim":
+        return PipelineExecutor(model, lr, **kwargs)
+    if runtime == "threaded":
+        return ConcurrentPipelineRunner(model, lr, lockstep=lockstep, **kwargs)
+    raise ValueError(
+        f"runtime must be 'sim' or 'threaded', got {runtime!r}"
+    )

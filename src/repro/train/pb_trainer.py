@@ -15,7 +15,7 @@ from repro.data.loader import sample_stream
 from repro.data.synthetic import Dataset
 from repro.models.arch import StageGraphModel
 from repro.optim.scaling import HE_CIFAR_REFERENCE, HyperParams
-from repro.pipeline.executor import PipelineExecutor
+from repro.pipeline.runtime import make_pipeline_engine
 from repro.pipeline.schedule import Schedule, make_schedule
 from repro.train.metrics import TrainingHistory, evaluate
 from repro.utils.rng import derive_seed, new_rng
@@ -45,6 +45,18 @@ class PipelinedTrainer:
     schedule:
         A ready-made :class:`~repro.pipeline.schedule.Schedule`; wins
         over ``mode`` when given.
+    runtime:
+        ``"sim"`` (default) trains through the discrete-time
+        :class:`~repro.pipeline.executor.PipelineExecutor`;
+        ``"threaded"`` through the concurrent
+        :class:`~repro.pipeline.runtime.ConcurrentPipelineRunner` with
+        one worker thread per stage.
+    lockstep:
+        Only with ``runtime="threaded"``: ``True`` adds the
+        per-time-step barrier that makes the threaded run bit-exact
+        with the simulator; the default ``False`` free-runs (fastest,
+        but ``pb``/``1f1b`` trajectories then depend on thread timing —
+        see ``runtime.py``).
     """
 
     def __init__(
@@ -61,6 +73,8 @@ class PipelinedTrainer:
         seed: int = 0,
         label: str | None = None,
         schedule: Schedule | None = None,
+        runtime: str = "sim",
+        lockstep: bool = False,
     ):
         self.model = model
         self.dataset = dataset
@@ -72,14 +86,17 @@ class PipelinedTrainer:
         self.schedule = schedule
         scaled = reference.scaled_to(schedule.update_size)
         self.hyperparams = scaled
-        self.executor = PipelineExecutor(
-            model,
+        self.runtime = runtime
+        engine_kwargs = dict(
             lr=scaled.lr,
             momentum=scaled.momentum,
             weight_decay=scaled.weight_decay,
             mitigation=self.mitigation,
             schedule=schedule,
             lr_schedule=lr_schedule,
+        )
+        self.executor = make_pipeline_engine(
+            runtime, model, lockstep=lockstep, **engine_kwargs
         )
         self.augment = augment
         self.rng = new_rng(derive_seed(seed, "pb_trainer"))

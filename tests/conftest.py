@@ -2,8 +2,40 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
+
+#: Hard wall-clock ceiling for tests marked ``concurrency``.  The
+#: threaded pipeline runtime has its own stall timeouts, but a bug in
+#: those must not be able to hang tier-1: the alarm turns a deadlock
+#: into a loud failure.  Override per test with
+#: ``@pytest.mark.concurrency(timeout=<seconds>)``.
+CONCURRENCY_TIMEOUT = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("concurrency")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.kwargs.get("timeout", CONCURRENCY_TIMEOUT))
+
+    def _timed_out(signum, frame):  # pragma: no cover - only on deadlock
+        raise TimeoutError(
+            f"concurrency test exceeded the hard {seconds}s timeout — "
+            "likely a deadlocked pipeline runtime"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -47,3 +47,24 @@ class TestScheduleFlag:
     def test_schedule_flag_rejected_by_other_experiments(self):
         with pytest.raises(ValueError):
             main(["fig02", "--schedule", "pb"])
+
+
+class TestRuntimeFlag:
+    @pytest.mark.concurrency
+    def test_runtime_flag_threads_schedule_comparison(self, capsys):
+        assert main(
+            ["schedule_comparison", "--runtime", "threaded",
+             "--schedule", "gpipe"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gpipe" in out and "utilization" in out
+
+    def test_runtime_flag_lists_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["schedule_comparison", "--runtime", "warp-drive"])
+        err = capsys.readouterr().err
+        assert "threaded" in err
+
+    def test_runtime_flag_rejected_by_other_experiments(self):
+        with pytest.raises(ValueError):
+            main(["fig02", "--runtime", "threaded"])

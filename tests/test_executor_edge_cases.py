@@ -1,4 +1,5 @@
-"""Executor edge cases: tail batches, single samples, repeated runs."""
+"""Executor edge cases: tail batches, single samples, repeated runs,
+and the degenerate zero-sample / zero-step streams for every schedule."""
 
 import numpy as np
 import pytest
@@ -6,8 +7,17 @@ import pytest
 from repro.core import MitigationConfig
 from repro.models import small_cnn
 from repro.optim import SGDM
-from repro.pipeline import PipelineExecutor
+from repro.pipeline import PipelineExecutor, PipelineRunStats
 from repro.tensor import Tensor, cross_entropy
+
+#: Every schedule with its canonical kwargs (micro-batched gpipe wider
+#: than some of the streams below, deliberately).
+ALL_SCHEDULES = [
+    ("pb", {}),
+    ("1f1b", {}),
+    ("fill_drain", dict(update_size=4)),
+    ("gpipe", dict(update_size=4, micro_batch_size=4)),
+]
 
 
 def max_param_diff(m1, m2):
@@ -80,6 +90,89 @@ class TestSmallStreams:
         )
         assert stats.samples == 0
         assert stats.time_steps == 0
+
+
+class TestZeroStreamStats:
+    """Regression pins for the degenerate streams: utilization and
+    mean_loss must be *defined* (0.0 and NaN), not accidents of a 0/0
+    or a fabricated one-step capacity."""
+
+    @pytest.mark.parametrize("mode,kw", ALL_SCHEDULES)
+    def test_empty_stream_every_schedule(self, mode, kw):
+        m = small_cnn(seed=7)
+        ex = PipelineExecutor(m, lr=0.05, mode=mode, **kw)
+        stats = ex.train(np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=int))
+        assert stats.samples == 0
+        assert stats.time_steps == 0
+        assert stats.forward_ops == 0 and stats.backward_ops == 0
+        assert stats.utilization == 0.0
+        assert np.isnan(stats.mean_loss)
+        assert stats.updates_per_stage == [0] * m.num_stages
+        # weights untouched by a run that saw no data
+        ref = small_cnn(seed=7)
+        assert max_param_diff(m, ref) == 0.0
+
+    @pytest.mark.parametrize("mode,kw", ALL_SCHEDULES)
+    def test_single_sample_every_schedule(self, rng, mode, kw):
+        X = rng.normal(size=(1, 3, 8, 8))
+        Y = rng.integers(0, 10, size=1)
+        m = small_cnn(seed=7)
+        ex = PipelineExecutor(m, lr=0.05, momentum=0.9, mode=mode, **kw)
+        stats = ex.train(X, Y)
+        assert stats.samples == 1
+        assert np.isfinite(stats.losses[0])
+        assert stats.mean_loss == pytest.approx(float(stats.losses[0]))
+        assert 0.0 < stats.utilization <= 1.0
+        assert all(s.updates_applied == 1 for s in ex.stages)
+        assert all(s.in_flight == 0 for s in ex.stages)
+
+    @pytest.mark.parametrize("mode,kw", ALL_SCHEDULES)
+    def test_batch_smaller_than_micro_batch(self, rng, mode, kw):
+        """n=2 with micro_batch_size=4 / update_size=4: one short packet
+        drains and (for the synchronous schedules) averages over the 2
+        samples actually seen."""
+        n = 2
+        X = rng.normal(size=(n, 3, 8, 8))
+        Y = rng.integers(0, 10, size=n)
+        m = small_cnn(seed=7)
+        ex = PipelineExecutor(m, lr=0.05, momentum=0.9, mode=mode, **kw)
+        stats = ex.train(X, Y)
+        assert stats.samples == n
+        assert np.all(np.isfinite(stats.losses))
+        expected_updates = n if mode in ("pb", "1f1b") else 1
+        assert all(
+            s.updates_applied == expected_updates for s in ex.stages
+        )
+        if mode == "gpipe":
+            # both samples rode one short packet, matching fill_drain's
+            # averaged update exactly
+            m_ref = small_cnn(seed=7)
+            ref = SGDM(m_ref.parameters(), lr=0.05, momentum=0.9)
+            loss = cross_entropy(m_ref(Tensor(X)), Y)
+            ref.zero_grad()
+            loss.backward()
+            ref.step()
+            assert max_param_diff(m, m_ref) < 1e-10
+
+    def test_zero_step_stats_never_fabricate_capacity(self):
+        """Direct construction: a zero-step record reports utilization
+        0.0 even with nonzero op counts (the old ``max(time_steps, 1)``
+        clamp invented one step of capacity)."""
+        stats = PipelineRunStats(
+            losses=np.zeros(0), time_steps=0, forward_ops=3,
+            backward_ops=3, num_stages=5, samples=0,
+        )
+        assert stats.utilization == 0.0
+        assert np.isnan(stats.mean_loss)
+
+    def test_legacy_op_count_fallback_still_works(self):
+        """Legacy records (op counts, no sample counts) keep their
+        op-granularity utilization."""
+        stats = PipelineRunStats(
+            losses=np.zeros(4), time_steps=10, forward_ops=20,
+            backward_ops=20, num_stages=2, samples=4,
+        )
+        assert stats.utilization == pytest.approx(40 / (2.0 * 2 * 10))
 
 
 class TestNumericalHygiene:
