@@ -185,6 +185,25 @@ def threaded_runtime() -> None:
         f" {stats.utilization:.3f}):"
     )
     print(format_table(rt.summary_rows()))
+
+    # the process backend: same contract, stages in separate processes,
+    # packets through shared-memory rings (zero-copy, no pickling).  The
+    # factory keeps this portable: non-Linux hosts default to spawn,
+    # whose workers rebuild their stage from it
+    from functools import partial
+
+    from repro.pipeline import ProcessPipelineRunner
+
+    factory = partial(small_cnn, num_classes=10, widths=(4, 8), seed=42)
+    proc = ProcessPipelineRunner(
+        factory(), lr=0.02, momentum=0.9, mode="pb", lockstep=True,
+        model_factory=factory,
+    ).train(X, Y)
+    print(
+        "process backend, lockstep vs simulator (pb): losses "
+        f"bit-identical = {bool(np.array_equal(sim.losses, proc.losses))}"
+        f" (backend={proc.runtime.backend})"
+    )
     print(
         "\nDeterminism caveats: free-running pb/1f1b losses and weights\n"
         "vary run to run (thread timing decides how fresh each forward's\n"

@@ -7,7 +7,7 @@ Usage::
     python -m repro.experiments table1 --scale paper
     python -m repro.experiments fig08 --save    # also write results/<id>.json
     python -m repro.experiments schedule_comparison --schedule gpipe
-    python -m repro.experiments schedule_comparison --runtime threaded
+    python -m repro.experiments schedule_comparison --runtime process
     python -m repro.experiments runtime_comparison
 """
 
@@ -61,10 +61,12 @@ def main(argv: list[str] | None = None) -> int:
         "schedule_comparison) to one pipeline schedule",
     )
     parser.add_argument(
-        "--runtime", choices=["sim", "threaded"], default=None,
+        "--runtime", choices=["sim", "threaded", "process"], default=None,
         help="pipeline engine for runtime-aware experiments (e.g. "
-        "schedule_comparison): the discrete-time simulator (sim) or the "
-        "concurrent multi-worker runtime (threaded, free-running)",
+        "schedule_comparison): the discrete-time simulator (sim), the "
+        "concurrent multi-worker thread runtime (threaded, free-running) "
+        "or the process-per-stage runtime with shared-memory transport "
+        "(process, free-running)",
     )
     parser.add_argument(
         "--save", action="store_true", help="persist to results/<id>.json"

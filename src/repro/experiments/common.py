@@ -194,6 +194,7 @@ def run_pb_executor(
     samples: int | None = None,
     runtime: str = "sim",
     lockstep: bool = False,
+    **engine_kwargs,
 ) -> dict:
     """Stream samples through the pipeline engine; return final metrics.
 
@@ -201,7 +202,11 @@ def run_pb_executor(
     ``gpipe``/``1f1b``); hyperparameters are eq.-9-scaled to the
     schedule's effective update size.  ``runtime`` picks the engine:
     ``"sim"`` is the discrete-time executor, ``"threaded"`` the
-    concurrent multi-worker runtime (free-running unless ``lockstep``).
+    concurrent thread-per-stage runtime and ``"process"`` the
+    process-per-stage runtime with shared-memory transport (both
+    free-running unless ``lockstep``).  Extra ``engine_kwargs`` reach the
+    engine constructor — pass ``model_factory=`` for the process backend
+    on spawn-default (non-Linux) platforms.
     """
     from repro.pipeline.runtime import make_pipeline_engine
     from repro.pipeline.schedule import make_schedule
@@ -222,6 +227,7 @@ def run_pb_executor(
         schedule=sched,
         lr_schedule=_warmup(hp.lr * lr_mult, total, warm_frac),
         lockstep=lockstep,
+        **engine_kwargs,
     )
     rng = new_rng(derive_seed(seed, "pb", model.name, mitigation.name))
     curve: list[tuple[int, float]] = []

@@ -15,13 +15,13 @@ the same model/stream through all four pipeline schedules (``pb``,
 ``fill_drain``, ``gpipe``, ``1f1b``) and tabulates the trade the paper
 argues about — pipeline steps-to-loss and utilization per schedule.
 
-``runtime_comparison`` validates the concurrent multi-worker runtime
-against the discrete-time simulator: per schedule it reports wall-clock
-for the simulator, the lockstep threaded run (with a bit-exactness
-check) and the free-running threaded run, plus the free-running
-runtime's measured per-stage busy fractions — modeled utilization vs
-*measured* worker business, the ROADMAP's "runs as fast as the hardware
-allows" checkpoint.
+``runtime_comparison`` validates the concurrent runtimes against the
+discrete-time simulator: per schedule it reports wall-clock for the
+simulator, the lockstep threaded and process runs (each with a
+bit-exactness check) and the free-running threaded and process runs,
+plus the free-running runtimes' measured per-stage busy fractions —
+modeled utilization vs *measured* worker business, the ROADMAP's "runs
+as fast as the hardware allows" checkpoint.
 """
 
 from __future__ import annotations
@@ -203,9 +203,10 @@ def schedule_comparison(
     smoothed training loss first undercuts a shared target, and final
     validation accuracy.  ``schedule`` restricts the comparison to a
     single schedule (the CLI ``--schedule`` flag); ``runtime`` picks the
-    engine (``sim`` or ``threaded``, the CLI ``--runtime`` flag — the
-    threaded engine runs free-running here, so pb/1f1b numbers vary with
-    thread timing; use ``runtime_comparison`` for the parity story).
+    engine (``sim``, ``threaded`` or ``process``, the CLI ``--runtime``
+    flag — the concurrent engines run free-running here, so pb/1f1b
+    numbers vary with worker timing; use ``runtime_comparison`` for the
+    parity story).
     """
     from repro.data.loader import sample_stream
     from repro.models.simple import small_cnn
@@ -234,10 +235,18 @@ def schedule_comparison(
             name, update_size=update_size, micro_batch_size=micro
         )
         hp = scale.reference.scaled_to(sched.update_size)
-        model = small_cnn(num_classes=ds.num_classes, widths=(8, 16), seed=11)
+        from functools import partial
+
+        model_factory = partial(
+            small_cnn, num_classes=ds.num_classes, widths=(8, 16), seed=11
+        )
+        model = model_factory()
+        engine_kwargs = (
+            {"model_factory": model_factory} if runtime == "process" else {}
+        )
         ex = make_pipeline_engine(
             runtime, model, lr=hp.lr, momentum=hp.momentum,
-            weight_decay=hp.weight_decay, schedule=sched,
+            weight_decay=hp.weight_decay, schedule=sched, **engine_kwargs,
         )
         # same seed for every schedule: the stream really is shared
         rng = new_rng(derive_seed(17, "schedcmp"))
@@ -287,18 +296,25 @@ def schedule_comparison(
 def runtime_comparison(
     scale: Scale | None = None, schedule: str | None = None
 ) -> dict:
-    """Simulator vs threaded runtime (lockstep + free-running) per schedule.
+    """Simulator vs threaded vs process runtime per schedule.
 
-    For each schedule the same model/stream is trained three ways:
+    For each schedule the same model/stream is trained five ways:
 
     * ``sim`` — the discrete-time :class:`PipelineExecutor` (modeled
       time, no concurrency);
-    * ``threaded lockstep`` — one worker per stage with a per-step
-      barrier; ``parity`` records whether its per-sample losses are
-      **bit-identical** to the simulator's (they must be);
+    * ``threaded lockstep`` — one worker thread per stage with a
+      per-step barrier; ``parity`` records whether its per-sample losses
+      are **bit-identical** to the simulator's (they must be);
     * ``threaded free`` — no barrier; stages run as packets arrive, and
       the measured mean per-stage busy fraction plus the free/lockstep
-      wall-clock speedup are reported.
+      wall-clock speedup are reported;
+    * ``process lockstep`` — one worker *process* per stage, packets
+      through shared-memory rings; ``proc_parity`` is the same bit-exact
+      contract across process boundaries;
+    * ``process free`` — the performance backend: no barrier, no GIL;
+      ``proc_free_vs_thread_free`` is the headline process-vs-thread
+      wall-clock ratio (>1 needs real cores; the stored payload records
+      the host's ``cpu_count`` next to it in ``BENCH_runtime.json``).
 
     ``schedule`` restricts the table to one schedule (CLI
     ``--schedule``).
@@ -306,7 +322,10 @@ def runtime_comparison(
     from repro.data.loader import sample_stream
     from repro.models.simple import small_cnn
     from repro.pipeline.executor import PipelineExecutor
-    from repro.pipeline.runtime import ConcurrentPipelineRunner
+    from repro.pipeline.runtime import (
+        ConcurrentPipelineRunner,
+        ProcessPipelineRunner,
+    )
     from repro.pipeline.schedule import SCHEDULE_NAMES, make_schedule
 
     import time as _time
@@ -330,6 +349,12 @@ def runtime_comparison(
     xs, ys = sample_stream(ds.x_train, ds.y_train, epochs, rng)
     xs, ys = xs[:n], ys[:n]
 
+    from functools import partial
+
+    model_factory = partial(
+        small_cnn, num_classes=ds.num_classes, widths=(8, 16), seed=11
+    )
+
     rows = []
     for name in names:
         def build():
@@ -337,10 +362,22 @@ def runtime_comparison(
                 name, update_size=update_size, micro_batch_size=micro
             )
             hp = scale.reference.scaled_to(sched.update_size)
-            model = small_cnn(
-                num_classes=ds.num_classes, widths=(8, 16), seed=11
+            return model_factory(), sched, hp
+
+        def timed(engine_cls, lockstep):
+            model, sched, hp = build()
+            kwargs = {}
+            if engine_cls is ProcessPipelineRunner:
+                # spawn-safe on non-Linux hosts, where fork is unsafe
+                kwargs["model_factory"] = model_factory
+            runner = engine_cls(
+                model, lr=hp.lr, momentum=hp.momentum,
+                weight_decay=hp.weight_decay, schedule=sched,
+                lockstep=lockstep, **kwargs,
             )
-            return model, sched, hp
+            t0 = _time.perf_counter()
+            stats = runner.train(xs, ys)
+            return _time.perf_counter() - t0, stats, runner
 
         model, sched, hp = build()
         t0 = _time.perf_counter()
@@ -350,24 +387,12 @@ def runtime_comparison(
         ).train(xs, ys)
         sim_s = _time.perf_counter() - t0
 
-        model, sched, hp = build()
-        runner = ConcurrentPipelineRunner(
-            model, lr=hp.lr, momentum=hp.momentum,
-            weight_decay=hp.weight_decay, schedule=sched, lockstep=True,
-        )
-        t0 = _time.perf_counter()
-        lock_stats = runner.train(xs, ys)
-        lock_s = _time.perf_counter() - t0
-
-        model, sched, hp = build()
-        runner = ConcurrentPipelineRunner(
-            model, lr=hp.lr, momentum=hp.momentum,
-            weight_decay=hp.weight_decay, schedule=sched, lockstep=False,
-        )
-        t0 = _time.perf_counter()
-        runner.train(xs, ys)
-        free_s = _time.perf_counter() - t0
-        free_rt = runner.last_runtime_stats
+        lock_s, lock_stats, _ = timed(ConcurrentPipelineRunner, True)
+        free_s, _, free_runner = timed(ConcurrentPipelineRunner, False)
+        free_rt = free_runner.last_runtime_stats
+        plock_s, plock_stats, _ = timed(ProcessPipelineRunner, True)
+        pfree_s, _, pfree_runner = timed(ProcessPipelineRunner, False)
+        pfree_rt = pfree_runner.last_runtime_stats
 
         rows.append(
             {
@@ -375,11 +400,22 @@ def runtime_comparison(
                 "parity": bool(
                     np.array_equal(sim_stats.losses, lock_stats.losses)
                 ),
+                "proc_parity": bool(
+                    np.array_equal(sim_stats.losses, plock_stats.losses)
+                ),
                 "sim_s": round(sim_s, 4),
                 "lockstep_s": round(lock_s, 4),
                 "free_s": round(free_s, 4),
+                "proc_lockstep_s": round(plock_s, 4),
+                "proc_free_s": round(pfree_s, 4),
                 "free_vs_lockstep": round(lock_s / max(free_s, 1e-12), 2),
+                "proc_free_vs_thread_free": round(
+                    free_s / max(pfree_s, 1e-12), 2
+                ),
                 "mean_busy_frac": round(free_rt.mean_busy_fraction, 4),
+                "proc_mean_busy_frac": round(
+                    pfree_rt.mean_busy_fraction, 4
+                ),
                 "modeled_utilization": round(sim_stats.utilization, 4),
             }
         )
@@ -388,8 +424,9 @@ def runtime_comparison(
         "samples": n,
         "meta": {
             "paper": "§2: fine-grained pipelining keeps all stages busy "
-            "in wall-clock time.  Lockstep parity must be True (bit-"
-            "exact contract); free-running trades reproducibility for "
-            "measured concurrency."
+            "in wall-clock time.  Lockstep parity must be True for both "
+            "concurrent backends (bit-exact contract); free-running "
+            "trades reproducibility for measured concurrency, and the "
+            "process backend additionally escapes the GIL."
         },
     }

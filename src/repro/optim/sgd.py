@@ -44,6 +44,9 @@ class SGDM:
         self._velocity: dict[int, np.ndarray] = {
             id(p): np.zeros_like(p.data) for p in self.params
         }
+        #: per-parameter scratch buffers so ``step`` allocates nothing on
+        #: the hot path (lazily created, keyed by parameter and role)
+        self._scratch: dict[tuple[int, str], np.ndarray] = {}
 
     def velocity(self, p: Parameter) -> np.ndarray:
         """The current velocity buffer for parameter ``p``."""
@@ -53,19 +56,46 @@ class SGDM:
         for p in self.params:
             p.grad = None
 
+    def _buf(self, p: Parameter, role: str) -> np.ndarray:
+        key = (id(p), role)
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape != p.data.shape:
+            buf = self._scratch[key] = np.empty_like(p.data)
+        return buf
+
     def step(self) -> None:
-        """Apply one update using accumulated ``.grad`` fields."""
+        """Apply one update using accumulated ``.grad`` fields.
+
+        Fully in place: velocity, the weight-decay fold and the weight
+        update all write into preallocated buffers
+        (``np.multiply/add/subtract(..., out=...)``), so the steady-state
+        optimizer allocates nothing per step.  The operation order is the
+        textbook one — ``g + wd*w``, then ``v = m*v + g``, then
+        ``w -= lr*update`` — so results are bit-identical to the naive
+        out-of-place form (pinned in ``tests/test_optim.py``).
+        """
+        m = self.momentum
         for p in self.params:
             if p.grad is None:
                 continue
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                g_eff = self._buf(p, "g")
+                np.multiply(p.data, self.weight_decay, out=g_eff)
+                np.add(g, g_eff, out=g_eff)  # g_eff = g + wd*w
+            else:
+                g_eff = g
             v = self._velocity[id(p)]
-            v *= self.momentum
-            v += g
-            update = self.momentum * v + g if self.nesterov else v
-            p.data = p.data - self.lr * update
+            np.multiply(v, m, out=v)
+            np.add(v, g_eff, out=v)
+            step_buf = self._buf(p, "u")
+            if self.nesterov:
+                np.multiply(v, m, out=step_buf)
+                np.add(step_buf, g_eff, out=step_buf)  # m*v_{t+1} + g
+                np.multiply(step_buf, self.lr, out=step_buf)
+            else:
+                np.multiply(v, self.lr, out=step_buf)
+            np.subtract(p.data, step_buf, out=p.data)
 
     def state_dict(self) -> dict:
         return {
@@ -77,9 +107,22 @@ class SGDM:
         }
 
     def load_state_dict(self, state: dict) -> None:
+        velocity = state["velocity"]
+        if len(velocity) != len(self.params):
+            raise ValueError(
+                f"state dict has {len(velocity)} velocity buffers but the "
+                f"optimizer binds {len(self.params)} parameters"
+            )
+        for i, (p, v) in enumerate(zip(self.params, velocity)):
+            if tuple(v.shape) != tuple(p.data.shape):
+                raise ValueError(
+                    f"velocity[{i}] has shape {tuple(v.shape)} but "
+                    f"parameter {i} expects {tuple(p.data.shape)} — "
+                    "state dict does not match the bound parameters"
+                )
         self.lr = state["lr"]
         self.momentum = state["momentum"]
         self.weight_decay = state["weight_decay"]
         self.nesterov = state["nesterov"]
-        for p, v in zip(self.params, state["velocity"]):
+        for p, v in zip(self.params, velocity):
             self._velocity[id(p)] = v.copy()

@@ -31,7 +31,7 @@ from repro.pipeline.delays import (
     max_pipeline_delay,
     stage_delay_table,
 )
-from repro.pipeline.stage import PipelineStage
+from repro.pipeline.stage import PipelineStage, StageBuildSpec
 from repro.pipeline.schedule import (
     SCHEDULE_NAMES,
     Schedule,
@@ -46,9 +46,20 @@ from repro.pipeline.executor import PipelineExecutor, PipelineRunStats
 from repro.pipeline.runtime import (
     ConcurrentPipelineRunner,
     PipelineRuntimeError,
+    ProcessPipelineRunner,
     RuntimeStats,
     StageRuntimeStats,
     make_pipeline_engine,
+)
+from repro.pipeline.transport import (
+    ArraySpec,
+    RingDescriptor,
+    ShmRing,
+    TransportError,
+    TransportStall,
+    build_pipeline_rings,
+    probe_boundary_layouts,
+    ring_slots_for,
 )
 from repro.pipeline.occupancy import (
     pb_occupancy,
@@ -79,6 +90,7 @@ __all__ = [
     "max_pipeline_delay",
     "stage_delay_table",
     "PipelineStage",
+    "StageBuildSpec",
     "SCHEDULE_NAMES",
     "Schedule",
     "ScheduleState",
@@ -91,9 +103,18 @@ __all__ = [
     "PipelineRunStats",
     "ConcurrentPipelineRunner",
     "PipelineRuntimeError",
+    "ProcessPipelineRunner",
     "RuntimeStats",
     "StageRuntimeStats",
     "make_pipeline_engine",
+    "ArraySpec",
+    "RingDescriptor",
+    "ShmRing",
+    "TransportError",
+    "TransportStall",
+    "build_pipeline_rings",
+    "probe_boundary_layouts",
+    "ring_slots_for",
     "pb_occupancy",
     "fill_drain_occupancy",
     "gpipe_occupancy",

@@ -74,11 +74,14 @@ paper's timing model.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import sys
 import threading
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -93,6 +96,12 @@ from repro.pipeline.executor import (
     softmax_xent_grad_batch,
 )
 from repro.pipeline.schedule import Schedule, ScheduleState
+from repro.pipeline.stage import PipelineStage, StageBuildSpec
+from repro.pipeline.transport import (
+    ShmRing,
+    TransportAborted,
+    build_pipeline_rings,
+)
 
 #: Seconds any single coordinator wait may block before the run is
 #: declared stalled.  Generous for real work, small enough that a
@@ -133,12 +142,16 @@ class StageRuntimeStats:
 
 @dataclass
 class RuntimeStats:
-    """Wall-clock outcome of one :class:`ConcurrentPipelineRunner` run.
+    """Wall-clock outcome of one concurrent pipeline run.
 
     ``wall_seconds`` spans first injection to last completion; each
     stage's ``busy_seconds`` sums its time inside forward/backward
     transformations, so ``idle_seconds(s)`` is measured (not modeled)
-    pipeline bubble time.
+    pipeline bubble time.  ``backend`` names the engine that produced the
+    run: ``"threaded"`` (:class:`ConcurrentPipelineRunner`, per-stage
+    busy time measured in-process) or ``"process"``
+    (:class:`ProcessPipelineRunner`, per-stage counters and wall-clock
+    collected from the worker processes at drain time).
     """
 
     mode: str  # "lockstep" | "free_running"
@@ -146,6 +159,7 @@ class RuntimeStats:
     num_stages: int
     wall_seconds: float = 0.0
     stages: list[StageRuntimeStats] = field(default_factory=list)
+    backend: str = "threaded"
 
     @property
     def busy_seconds(self) -> float:
@@ -254,7 +268,86 @@ class _SimpleQueue:
             return self._items.popleft()
 
 
-class ConcurrentPipelineRunner:
+class _ConcurrentEngineFacade:
+    """Shared surface of the concurrent runners (threaded and process).
+
+    Both wrap an internal :class:`PipelineExecutor` in ``self._executor``
+    (which owns the stages, schedule and optimizer state) and re-expose
+    its engine API, so :class:`~repro.train.pb_trainer.PipelinedTrainer`
+    and :func:`make_pipeline_engine` can treat all engines uniformly.
+    ``self.lockstep`` is set by the subclass constructor.
+    """
+
+    _executor: PipelineExecutor
+    lockstep: bool
+
+    @property
+    def model(self) -> StageGraphModel:
+        return self._executor.model
+
+    @property
+    def stages(self):
+        return self._executor.stages
+
+    @property
+    def schedule(self) -> Schedule:
+        return self._executor.schedule
+
+    @property
+    def mode(self) -> str:
+        return self._executor.mode
+
+    @property
+    def update_size(self) -> int:
+        return self._executor.update_size
+
+    @property
+    def num_stages(self) -> int:
+        return self._executor.num_stages
+
+    @property
+    def samples_completed(self) -> int:
+        return self._executor.samples_completed
+
+    @property
+    def lr_schedule(self):
+        return self._executor.lr_schedule
+
+    def set_lr(self, lr: float) -> None:
+        self._executor.set_lr(lr)
+
+    def flush_stages(self, count: int) -> None:
+        self._executor.flush_stages(count)
+
+    @property
+    def runtime_mode(self) -> str:
+        return "lockstep" if self.lockstep else "free_running"
+
+    def _finish_stats(
+        self,
+        losses: np.ndarray,
+        time_steps: int,
+        counters: list[StageRuntimeStats],
+        runtime: RuntimeStats,
+    ) -> PipelineRunStats:
+        self.last_runtime_stats = runtime
+        return PipelineRunStats(
+            losses=losses,
+            time_steps=time_steps,
+            forward_ops=sum(c.forward_ops for c in counters),
+            backward_ops=sum(c.backward_ops for c in counters),
+            num_stages=self.num_stages,
+            samples=losses.shape[0],
+            updates_per_stage=[st.updates_applied for st in self.stages],
+            forward_samples=sum(c.forward_samples for c in counters),
+            backward_samples=sum(c.backward_samples for c in counters),
+            micro_batch=self.schedule.micro_batch,
+            schedule=self.schedule.name,
+            runtime=runtime,
+        )
+
+
+class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
     """Execute a :class:`StageGraphModel` pipeline with one worker thread
     per stage (see module docstring for the design).
 
@@ -318,49 +411,7 @@ class ConcurrentPipelineRunner:
         self.last_runtime_stats: RuntimeStats | None = None
         self._threads: list[threading.Thread] = []
 
-    # -- executor facade (keeps PipelinedTrainer/run_pb_executor happy) ----
-
-    @property
-    def model(self) -> StageGraphModel:
-        return self._executor.model
-
-    @property
-    def stages(self):
-        return self._executor.stages
-
-    @property
-    def schedule(self) -> Schedule:
-        return self._executor.schedule
-
-    @property
-    def mode(self) -> str:
-        return self._executor.mode
-
-    @property
-    def update_size(self) -> int:
-        return self._executor.update_size
-
-    @property
-    def num_stages(self) -> int:
-        return self._executor.num_stages
-
-    @property
-    def samples_completed(self) -> int:
-        return self._executor.samples_completed
-
-    @property
-    def lr_schedule(self):
-        return self._executor.lr_schedule
-
-    def set_lr(self, lr: float) -> None:
-        self._executor.set_lr(lr)
-
-    def flush_stages(self, count: int) -> None:
-        self._executor.flush_stages(count)
-
-    @property
-    def runtime_mode(self) -> str:
-        return "lockstep" if self.lockstep else "free_running"
+    # (engine facade inherited from _ConcurrentEngineFacade)
 
     # -- shared per-stage transformations ----------------------------------
     #
@@ -439,29 +490,6 @@ class ConcurrentPipelineRunner:
             stats = self._run_free(X, Y)
         check_stages_drained(self.stages)
         return stats
-
-    def _finish_stats(
-        self,
-        losses: np.ndarray,
-        time_steps: int,
-        counters: list[StageRuntimeStats],
-        runtime: RuntimeStats,
-    ) -> PipelineRunStats:
-        self.last_runtime_stats = runtime
-        return PipelineRunStats(
-            losses=losses,
-            time_steps=time_steps,
-            forward_ops=sum(c.forward_ops for c in counters),
-            backward_ops=sum(c.backward_ops for c in counters),
-            num_stages=self.num_stages,
-            samples=losses.shape[0],
-            updates_per_stage=[st.updates_applied for st in self.stages],
-            forward_samples=sum(c.forward_samples for c in counters),
-            backward_samples=sum(c.backward_samples for c in counters),
-            micro_batch=self.schedule.micro_batch,
-            schedule=self.schedule.name,
-            runtime=runtime,
-        )
 
     # -- lockstep mode -------------------------------------------------------
 
@@ -763,18 +791,825 @@ class ConcurrentPipelineRunner:
             )
 
 
+# ---------------------------------------------------------------------------
+# Process-per-stage runtime
+# ---------------------------------------------------------------------------
+#
+# The threaded runner shares one interpreter, so NumPy dispatch serializes
+# on the GIL; here every stage is an OS process and activations/gradients
+# move through the shared-memory rings of :mod:`repro.pipeline.transport`
+# (zero-copy views, no pickling on the steady-state hot path).  Only
+# *control* travels over pipes: step/flush/set_lr commands, completion
+# events, and the one-time state handoff at start/drain.
+#
+# The worker protocol (parent -> worker over ``conn``):
+#
+#   ("step", do_fwd, do_bwd)  lockstep only; worker acks ("ok", completed)
+#   ("flush", count)          synchronous-schedule batch boundary
+#   ("set_lr", lr)            LR schedule tick
+#   ("finalize",)             reply ("state", payload) and exit
+#   ("stop",)                 exit without a state reply (error path)
+#
+# and worker -> parent:
+#
+#   ("ok", completed)         lockstep step ack
+#   ("done", start, size)     free-running completion (stage 0 only)
+#   ("state", payload)        finalize reply: state_dict + counters (+
+#                             losses and version traces)
+#   ("err", stage, text)      any failure; parent raises PipelineRuntimeError
+#
+# Slot lifetime follows the autodiff engine's lazy reads (see
+# transport.py): a compute stage's forward slot is released only when
+# that packet's backward has run; every other slot is released as soon
+# as its packet has been transformed and forwarded.
+
+
+@dataclass
+class _ProcessWorkerSpec:
+    """Everything one stage worker needs, picklable under ``spawn``."""
+
+    stage_index: int
+    num_stages: int
+    lockstep: bool
+    update_after_backward: bool
+    conn: Any  # multiprocessing.connection.Connection
+    fwd_in: ShmRing
+    fwd_out: ShmRing | None
+    bwd_in: ShmRing | None
+    bwd_out: ShmRing | None
+    abort: Any  # multiprocessing.Event
+    stall_timeout: float
+    jitter: float
+    jitter_seed: int
+    stage_state: dict
+    stage: PipelineStage | None = None  # fork path: inherited object
+    build_spec: StageBuildSpec | None = None  # spawn path: rebuild recipe
+    labels: np.ndarray | None = None  # loss stage only
+    num_samples: int = 0
+
+
+class _ProcessStageWorker:
+    """One stage's event loop inside its worker process."""
+
+    def __init__(self, spec: _ProcessWorkerSpec, stage: PipelineStage):
+        self.spec = spec
+        self.stage = stage
+        self.s = spec.stage_index
+        self.counters = StageRuntimeStats(index=self.s)
+        self.is_loss = stage.spec.kind == "loss"
+        self.losses = (
+            np.zeros(spec.num_samples) if self.is_loss else None
+        )
+        #: compute stages re-read forward inputs lazily at backward time,
+        #: so their inbound forward slot outlives the forward op
+        self.defer_fwd_release = stage.spec.kind == "compute"
+        self._pending_fwd: deque[int] = deque()
+        self.cap = stage.delay + 1  # PipeDream in-flight bound (eq. 5)
+        self.in_flight = 0
+        self._rng = (
+            np.random.default_rng(
+                (spec.jitter_seed * 1_000_003 + self.s) & 0xFFFFFFFF
+            )
+            if spec.jitter > 0.0
+            else None
+        )
+
+    def _jitter(self) -> None:
+        if self._rng is not None:
+            time.sleep(self._rng.uniform(0.0, self.spec.jitter))
+
+    # -- packet transformations -------------------------------------------
+
+    # busy_seconds accounting: only the transformations themselves are
+    # timed — blocking ring sends (downstream backpressure) fall outside
+    # the window, matching the threaded runner's never-blocking channel
+    # puts so busy fractions stay comparable across backends.
+
+    def _handle_forward(self, pkt) -> int:
+        """Transform one inbound forward packet; returns completions."""
+        pid, start, size, payload = pkt
+        spec = self.spec
+        self._jitter()
+        completed = 0
+        if self.is_loss:
+            t0 = time.perf_counter()
+            lvec, glogits = softmax_xent_grad_batch(
+                payload[0], spec.labels[start : start + size]
+            )
+            self.losses[start : start + size] = lvec
+            self.counters.forward_ops += 1
+            self.counters.forward_samples += size
+            # the loss stage consumes its own seeded backward in the same
+            # step, exactly as the simulator's forward sweep seeds bwd_in
+            upstream = self._backward_compute(pid, [glogits], size)
+            self.counters.busy_seconds += time.perf_counter() - t0
+            completed = self._ship_backward(pid, start, size, upstream)
+            spec.fwd_in.release()
+        else:
+            t0 = time.perf_counter()
+            out = self.stage.forward(pid, payload)
+            self.counters.forward_ops += 1
+            self.counters.forward_samples += size
+            self.counters.busy_seconds += time.perf_counter() - t0
+            spec.fwd_out.send(
+                pid, start, size, out, spec.stall_timeout, spec.abort
+            )
+            self.in_flight += 1
+            if self.defer_fwd_release:
+                self._pending_fwd.append(pid)
+            else:
+                spec.fwd_in.release()
+        return completed
+
+    def _backward_compute(self, pid, grads, size) -> list[np.ndarray]:
+        """The backward transformation proper (timed by the caller)."""
+        upstream = self.stage.backward(pid, grads)
+        if self.spec.update_after_backward:
+            self.stage.apply_update()
+        self.counters.backward_ops += 1
+        self.counters.backward_samples += size
+        return upstream
+
+    def _ship_backward(self, pid, start, size, upstream) -> int:
+        """Send upstream gradients (untimed); stage 0 reports completions."""
+        if self.s > 0:
+            self.spec.bwd_out.send(
+                pid, start, size, upstream, self.spec.stall_timeout,
+                self.spec.abort,
+            )
+            return 0
+        return size
+
+    def _handle_backward(self, pkt) -> int:
+        """Transform one inbound backward packet; returns completions."""
+        pid, start, size, grads = pkt
+        spec = self.spec
+        self._jitter()
+        t0 = time.perf_counter()
+        upstream = self._backward_compute(pid, grads, size)
+        self.counters.busy_seconds += time.perf_counter() - t0
+        # copy into the upstream ring *before* releasing anything the
+        # upstream grads may alias (identity/sum pass views through)
+        completed = self._ship_backward(pid, start, size, upstream)
+        spec.bwd_in.release()  # gradients are consumed eagerly
+        self.in_flight -= 1
+        if self.defer_fwd_release:
+            expect = self._pending_fwd.popleft()
+            if expect != pid:
+                raise RuntimeError(
+                    f"stage {self.s}: backward for packet {pid} arrived "
+                    f"before packet {expect}'s — FIFO violated"
+                )
+            spec.fwd_in.release()
+        return completed
+
+    # -- control ----------------------------------------------------------
+
+    def _apply_control(self, cmd) -> bool:
+        """Apply a non-step command; ``True`` when the worker should exit."""
+        tag = cmd[0]
+        if tag == "flush":
+            self.stage.flush_update(cmd[1])
+            if not self.spec.lockstep:
+                # free mode: the parent must not inject the next batch
+                # until every stage has flushed — a worker past its
+                # control poll could otherwise transform a fresh packet
+                # with un-flushed weights (lockstep needs no ack: the
+                # flush command is ordered before the next step command
+                # in the same pipe)
+                self.spec.conn.send(("flushed",))
+        elif tag == "set_lr":
+            self.stage.lr = float(cmd[1])
+        elif tag == "finalize":
+            self.spec.conn.send(("state", self._finalize_payload()))
+            return True
+        elif tag == "stop":
+            return True
+        else:  # pragma: no cover - protocol bug
+            raise RuntimeError(f"stage {self.s}: unknown command {tag!r}")
+        return False
+
+    def _finalize_payload(self) -> dict:
+        return {
+            "state": self.stage.state_dict(),
+            "counters": self.counters,
+            "losses": self.losses,
+            "version_trace": list(self.stage.version_trace),
+            "stash_len": len(self.stage.stash),
+            "updates_applied": self.stage.updates_applied,
+        }
+
+    # -- event loops -------------------------------------------------------
+
+    def run(self) -> None:
+        if self.spec.lockstep:
+            self._run_lockstep()
+        else:
+            self._run_free()
+
+    def _recv_cmd(self):
+        """Blocking command read that still honours the abort flag."""
+        while not self.spec.conn.poll(0.05):
+            if self.spec.abort.is_set():
+                return ("stop",)
+        return self.spec.conn.recv()
+
+    def _run_lockstep(self) -> None:
+        spec = self.spec
+        while True:
+            cmd = self._recv_cmd()
+            if cmd[0] != "step":
+                if self._apply_control(cmd):
+                    return
+                continue
+            _, do_fwd, do_bwd = cmd
+            completed = 0
+            # forward before backward inside one step, exactly as the
+            # simulator's forward sweep precedes its backward sweep
+            if do_fwd:
+                completed += self._handle_forward(
+                    spec.fwd_in.recv(
+                        spec.stall_timeout, f"stage {self.s} fwd packet",
+                        spec.abort,
+                    )
+                )
+            if do_bwd:
+                completed += self._handle_backward(
+                    spec.bwd_in.recv(
+                        spec.stall_timeout, f"stage {self.s} bwd packet",
+                        spec.abort,
+                    )
+                )
+            spec.conn.send(("ok", completed))
+
+    def _run_free(self) -> None:
+        spec = self.spec
+        idle_sleep = 1e-5
+        while True:
+            # control first: a flush sent before the next batch's packets
+            # were injected must be applied before those packets (pipe
+            # writes precede the ring publishes, so checking the pipe
+            # first preserves the parent's ordering)
+            while spec.conn.poll(0):
+                if self._apply_control(spec.conn.recv()):
+                    return
+            if spec.abort.is_set():
+                return
+            completed = 0
+            start = -1
+            worked = False
+            if spec.bwd_in is not None and spec.bwd_in.poll():
+                # backward priority: PipeDream's drain rule
+                pkt = spec.bwd_in.try_recv()
+                start = pkt[1]
+                completed = self._handle_backward(pkt)
+                worked = True
+            elif spec.fwd_in.poll() and self.in_flight < self.cap:
+                pkt = spec.fwd_in.try_recv()
+                start = pkt[1]
+                completed = self._handle_forward(pkt)
+                worked = True
+            if completed:
+                spec.conn.send(("done", start, int(completed)))
+            if worked:
+                idle_sleep = 1e-5
+            else:
+                time.sleep(idle_sleep)
+                idle_sleep = min(idle_sleep * 2.0, 2e-3)
+
+
+def _process_worker_main(spec: _ProcessWorkerSpec) -> None:
+    """Entry point of a stage worker process (top-level for ``spawn``)."""
+    try:
+        if spec.stage is not None:
+            stage = spec.stage
+        elif spec.build_spec is not None:
+            stage = spec.build_spec.build()
+        else:  # pragma: no cover - constructor validates
+            raise RuntimeError("worker spec carries neither stage nor recipe")
+        stage.load_state_dict(spec.stage_state)
+        # ship only THIS run's version trace back; the parent extends its
+        # accumulated list (matching the sim/threaded engines' behaviour
+        # across consecutive train() calls).  A fork-inherited stage
+        # would otherwise carry — and duplicate — prior runs' entries.
+        stage.version_trace = []
+        _ProcessStageWorker(spec, stage).run()
+    except TransportAborted:
+        pass  # the parent is tearing the run down; exit quietly
+    except BaseException as exc:
+        try:
+            spec.conn.send(
+                (
+                    "err",
+                    spec.stage_index,
+                    f"{exc!r}\n{traceback.format_exc()}",
+                )
+            )
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+        spec.abort.set()
+
+
+class _FlushProxy:
+    """Stand-in for the executor inside ``Schedule.end_step``: forwards
+    batch-boundary flushes to every worker process as commands.
+
+    In free-running mode the flush is a *barrier*: the proxy waits for
+    every worker's ack before returning, so injection of the next batch
+    (which happens after ``end_step``) cannot overtake the flush.  The
+    pipeline is fully drained at a synchronous schedule's batch boundary,
+    so the ack round-trip costs one idle pipe hop per batch.
+    """
+
+    def __init__(self, runner: "ProcessPipelineRunner", wait_acks: bool):
+        self._runner = runner
+        self._wait_acks = wait_acks
+
+    def flush_stages(self, count: int) -> None:
+        # the authoritative update counters return at finalize
+        self._runner._broadcast(("flush", count))
+        if self._wait_acks:
+            for s in range(self._runner.num_stages):
+                msg = self._runner._recv(s)
+                if msg[0] != "flushed":  # pragma: no cover - protocol bug
+                    raise RuntimeError(
+                        f"stage {s}: expected flush ack, got {msg[0]!r}"
+                    )
+
+
+class ProcessPipelineRunner(_ConcurrentEngineFacade):
+    """Execute a :class:`StageGraphModel` pipeline with one worker
+    *process* per stage and shared-memory packet transport.
+
+    Constructor mirrors :class:`ConcurrentPipelineRunner` (same schedule
+    plumbing, same ``lockstep`` / ``jitter`` / ``stall_timeout`` knobs),
+    plus:
+
+    model_factory:
+        Spawn-safe callable rebuilding the model from scratch (a
+        module-level function or ``functools.partial``).  Required for
+        ``start_method="spawn"``; optional under ``"fork"``, where it
+        switches the workers from inheriting the parent's stage objects
+        to reconstructing them via :class:`StageBuildSpec` — the same
+        code path ``spawn`` uses, handy for testing it.
+    start_method:
+        ``"fork"`` (default where available) or ``"spawn"``.
+    ring_slack:
+        Extra ring slots beyond the per-stage in-flight cap
+        ``D_s + 1`` (see :func:`repro.pipeline.transport.ring_slots_for`).
+
+    **lockstep** mode is bit-exact with :class:`PipelineExecutor` and the
+    lockstep threaded runner: workers hold identical state (shipped via
+    ``PipelineStage.state_dict``), execute the same transformations in
+    the same step order, and float64 payloads cross the rings untouched.
+    **free-running** mode keeps the eq.-5 staleness ceiling through the
+    same per-stage in-flight caps, with completions driving batch
+    boundaries exactly as in the threaded runner.  Trained weights,
+    optimizer state, per-stage op counts/busy seconds, losses and
+    version traces all ship back to the parent at drain time, so after
+    ``train()`` the master model is updated in place just like with the
+    other engines.
+    """
+
+    def __init__(
+        self,
+        model: StageGraphModel,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        mitigation: MitigationConfig | None = None,
+        mode: str = "pb",
+        update_size: int = 1,
+        micro_batch_size: int = 1,
+        lr_schedule: Callable[[int], float] | None = None,
+        record_versions: bool = False,
+        schedule: Schedule | None = None,
+        lockstep: bool = False,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+        model_factory: Callable[[], StageGraphModel] | None = None,
+        start_method: str | None = None,
+        ring_slack: int = 2,
+    ):
+        self._executor = PipelineExecutor(
+            model,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            mitigation=mitigation,
+            mode=mode,
+            update_size=update_size,
+            micro_batch_size=micro_batch_size,
+            lr_schedule=lr_schedule,
+            record_versions=record_versions,
+            schedule=schedule,
+        )
+        self.lockstep = bool(lockstep)
+        self.jitter = float(jitter)
+        self.jitter_seed = int(jitter_seed)
+        self.stall_timeout = float(stall_timeout)
+        self.model_factory = model_factory
+        self.ring_slack = int(ring_slack)
+        available = mp.get_all_start_methods()
+        if start_method is None:
+            # fork only where it is actually safe: forking a NumPy/BLAS
+            # parent on macOS (Accelerate) can deadlock in the child, so
+            # anywhere but Linux the spawn + model_factory path is the
+            # default (matching CPython's own default flip on darwin)
+            start_method = (
+                "fork"
+                if sys.platform.startswith("linux") and "fork" in available
+                else "spawn"
+            )
+        if start_method not in available:
+            raise ValueError(
+                f"start_method {start_method!r} not available on this "
+                f"platform (have {available})"
+            )
+        if start_method != "fork" and model_factory is None:
+            raise ValueError(
+                f"start_method {start_method!r} cannot inherit stage "
+                "objects; pass a spawn-safe model_factory so workers can "
+                "rebuild their stage (see StageBuildSpec)"
+            )
+        self.start_method = start_method
+        self._opt = dict(
+            lr=lr, momentum=momentum, weight_decay=weight_decay,
+            mitigation=mitigation,
+        )
+        self.last_runtime_stats: RuntimeStats | None = None
+        self.completion_order: list[int] = []
+        self._procs: list[mp.process.BaseProcess] = []
+        self._conns: list[Any] = []
+        self._child_conns: list[Any] = []
+        self._rings: list[ShmRing] = []
+        self._fwd_rings: list[ShmRing] = []
+        self._abort = None
+
+    # (engine facade inherited from _ConcurrentEngineFacade)
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _launch(self, X: np.ndarray, Y: np.ndarray) -> None:
+        S = self.num_stages
+        width = max(1, self.schedule.micro_batch)
+        probe = np.zeros((width,) + X.shape[1:], dtype=X.dtype)
+        fwd_rings, bwd_rings = build_pipeline_rings(
+            self.stages, probe, slack=self.ring_slack
+        )
+        self._rings = fwd_rings + [r for r in bwd_rings if r is not None]
+        self._fwd_rings = fwd_rings
+        ctx = mp.get_context(self.start_method)
+        self._abort = ctx.Event()
+        self._conns = []
+        self._child_conns = []
+        self._procs = []
+        use_factory = self.model_factory is not None
+        for s in range(S):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            stage = self.stages[s]
+            spec = _ProcessWorkerSpec(
+                stage_index=s,
+                num_stages=S,
+                lockstep=self.lockstep,
+                update_after_backward=self.schedule.update_after_backward(s),
+                conn=child_conn,
+                fwd_in=fwd_rings[s],
+                fwd_out=fwd_rings[s + 1] if s + 1 < S else None,
+                bwd_in=bwd_rings[s],
+                bwd_out=bwd_rings[s - 1] if s > 0 else None,
+                abort=self._abort,
+                stall_timeout=self.stall_timeout,
+                jitter=self.jitter,
+                jitter_seed=self.jitter_seed,
+                stage_state=stage.state_dict(),
+                stage=None if use_factory else stage,
+                build_spec=(
+                    StageBuildSpec(
+                        model_factory=self.model_factory,
+                        index=s,
+                        lr=stage.lr,
+                        momentum=self._opt["momentum"],
+                        weight_decay=self._opt["weight_decay"],
+                        mitigation=self._opt["mitigation"],
+                        always_stash=self.schedule.stash_weights,
+                        record_versions=stage.record_versions,
+                    )
+                    if use_factory
+                    else None
+                ),
+                labels=Y if stage.spec.kind == "loss" else None,
+                num_samples=X.shape[0],
+            )
+            proc = ctx.Process(
+                target=_process_worker_main,
+                args=(spec,),
+                name=f"pipeline-stage-proc-{s}",
+                daemon=True,
+            )
+            self._conns.append(parent_conn)
+            self._child_conns.append(child_conn)
+            self._procs.append(proc)
+        # workers load their lr from the shipped state; broadcasts are
+        # needed only when the schedule later changes it
+        self._last_broadcast_lr = self.stages[0].lr if self.stages else None
+        for p in self._procs:
+            p.start()
+        # the child ends now live in the workers; drop the parent's copies
+        for conn in self._child_conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - idempotent
+                pass
+        self._child_conns = []
+
+    def _broadcast(self, cmd) -> None:
+        for conn in self._conns:
+            conn.send(cmd)
+
+    def _recv(self, s: int):
+        """One message from worker ``s`` with the stall deadline."""
+        if not self._conns[s].poll(self.stall_timeout):
+            raise RuntimeError(
+                f"pipeline runtime stalled waiting on stage {s} worker "
+                f"({self.stall_timeout:.1f}s) — likely deadlock or a dead "
+                "process"
+            )
+        try:
+            msg = self._conns[s].recv()
+        except (EOFError, OSError) as exc:
+            # a worker killed without reporting (OOM, segfault) closes
+            # its pipe end; surface the documented error, not a bare EOF
+            raise PipelineRuntimeError(
+                s,
+                RuntimeError(
+                    "worker process died without reporting an error "
+                    f"(exitcode={self._procs[s].exitcode})"
+                ),
+            ) from exc
+        if msg[0] == "err":
+            raise PipelineRuntimeError(msg[1], RuntimeError(msg[2]))
+        return msg
+
+    def _apply_lr_schedule(self) -> None:
+        if self.lr_schedule is None:
+            return
+        lr = float(self.lr_schedule(self._executor.samples_completed))
+        self._executor.set_lr(lr)
+        # workers start from the shipped state's lr; only a *change*
+        # needs a broadcast (a constant post-warmup schedule would
+        # otherwise cost stages × samples no-op pipe sends)
+        if lr != self._last_broadcast_lr:
+            self._broadcast(("set_lr", lr))
+            self._last_broadcast_lr = lr
+
+    def _finalize_workers(
+        self, losses: np.ndarray, counters: list[StageRuntimeStats]
+    ) -> None:
+        """Collect trained state + measurements; load into parent stages."""
+        self._broadcast(("finalize",))
+        payloads = []
+        for s in range(self.num_stages):
+            msg = self._recv(s)
+            if msg[0] != "state":  # pragma: no cover - protocol bug
+                raise RuntimeError(
+                    f"stage {s}: expected finalize state, got {msg[0]!r}"
+                )
+            payloads.append(msg[1])
+        for s, payload in enumerate(payloads):
+            if payload["stash_len"]:
+                raise RuntimeError(
+                    f"stage {s} finished with {payload['stash_len']} "
+                    "stashed packets — pipeline did not drain"
+                )
+            stage = self.stages[s]
+            stage.load_state_dict(payload["state"])
+            stage.updates_applied = int(payload["updates_applied"])
+            stage.version_trace.extend(payload["version_trace"])
+            counters[s] = payload["counters"]
+            if payload["losses"] is not None:
+                np.copyto(losses, payload["losses"])
+
+    def _teardown(self, failed: bool) -> None:
+        if failed and self._abort is not None:
+            self._abort.set()
+        deadline = time.monotonic() + self.stall_timeout
+        started = [p for p in self._procs if p.ident is not None]
+        for p in started:
+            p.join(max(0.0, deadline - time.monotonic()))
+        for p in started:
+            if p.is_alive():
+                p.terminate()
+                p.join(5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - idempotent teardown
+                pass
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+        self._procs = []
+        self._conns = []
+        self._child_conns = []
+        self._rings = []
+        self._fwd_rings = []
+        self._abort = None
+
+    # -- public entry -------------------------------------------------------
+
+    def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
+        """Stream all samples through the process pipeline (training)."""
+        X = np.ascontiguousarray(X)
+        Y = np.asarray(Y)
+        if X.shape[0] != Y.shape[0]:
+            raise ValueError("X and Y length mismatch")
+        n = X.shape[0]
+        self.schedule.reset(n)
+        self.completion_order = []
+        if n == 0:
+            counters = [
+                StageRuntimeStats(index=s) for s in range(self.num_stages)
+            ]
+            runtime = RuntimeStats(
+                mode=self.runtime_mode,
+                schedule=self.schedule.name,
+                num_stages=self.num_stages,
+                wall_seconds=0.0,
+                stages=counters,
+                backend="process",
+            )
+            return self._finish_stats(np.zeros(0), 0, counters, runtime)
+        losses = np.zeros(n)
+        counters: list[StageRuntimeStats] = [
+            StageRuntimeStats(index=s) for s in range(self.num_stages)
+        ]
+        failed = True
+        try:
+            self._launch(X, Y)
+            # wall_seconds spans first injection to last completion —
+            # the same window the threaded runner measures — so busy
+            # fractions stay comparable across backends; ring/process
+            # setup and the drain-time state collection are excluded
+            t0 = time.perf_counter()
+            if self.lockstep:
+                time_steps = self._drive_lockstep(X, n)
+            else:
+                time_steps = self._drive_free(X, n)
+            wall = time.perf_counter() - t0
+            self._finalize_workers(losses, counters)
+            failed = False
+        finally:
+            self._teardown(failed)
+        runtime = RuntimeStats(
+            mode=self.runtime_mode,
+            schedule=self.schedule.name,
+            num_stages=self.num_stages,
+            wall_seconds=wall,
+            stages=counters,
+            backend="process",
+        )
+        check_stages_drained(self.stages)
+        return self._finish_stats(losses, time_steps, counters, runtime)
+
+    # -- lockstep driver ----------------------------------------------------
+
+    def _drive_lockstep(self, X: np.ndarray, n: int) -> int:
+        """Mirror of ``PipelineExecutor._run``'s control flow: the parent
+        tracks packet *positions* (metadata only) while the payloads hop
+        worker-to-worker through the rings; one scatter/gather barrier
+        per simulated time step keeps the run bit-exact."""
+        S = self.num_stages
+        sched = self.schedule
+        state = ScheduleState(num_samples=n)
+        proxy = _FlushProxy(self, wait_acks=False)
+        fwd_meta: dict[int, tuple[int, int, int]] = {}
+        bwd_meta: dict[int, tuple[int, int, int]] = {}
+        while state.next_sample < n or fwd_meta or bwd_meta:
+            if state.next_sample < n and 0 not in fwd_meta:
+                size = min(sched.inject_size(state), n - state.next_sample)
+                if size > 0:
+                    i = state.next_sample
+                    self._fwd_rings[0].send(
+                        i, i, size, [X[i : i + size]], self.stall_timeout,
+                        self._abort,
+                    )
+                    fwd_meta[0] = (i, i, size)
+                    state.next_sample += size
+
+            for s in range(S):
+                self._conns[s].send(("step", s in fwd_meta, s in bwd_meta))
+            completed = 0
+            for s in range(S):
+                msg = self._recv(s)  # the barrier
+                completed += msg[1]
+
+            new_fwd: dict[int, tuple[int, int, int]] = {}
+            new_bwd: dict[int, tuple[int, int, int]] = {}
+            for s, meta in fwd_meta.items():
+                if s == S - 1:
+                    # the loss stage consumed its own seeded backward this
+                    # step; its upstream gradient surfaces next step
+                    if S > 1:
+                        new_bwd[S - 2] = meta
+                else:
+                    new_fwd[s + 1] = meta
+            for s, meta in bwd_meta.items():
+                if s > 0:
+                    new_bwd[s - 1] = meta
+            fwd_meta, bwd_meta = new_fwd, new_bwd
+            state.completed += completed
+            self._executor.samples_completed += completed
+            state.step += 1
+
+            # batch boundaries + LR schedule at the barrier, as in the sim
+            sched.end_step(proxy, state)
+            self._apply_lr_schedule()
+        return state.step
+
+    # -- free-running driver -------------------------------------------------
+
+    def _drive_free(self, X: np.ndarray, n: int) -> int:
+        """Inject as the schedule allows (ring backpressure permitting)
+        and react to completion events; workers self-drive off their
+        rings with backward priority and the eq.-5 in-flight caps."""
+        sched = self.schedule
+        state = ScheduleState(num_samples=n)
+        proxy = _FlushProxy(self, wait_acks=True)
+        last_progress = time.monotonic()
+        while state.completed < n:
+            progressed = False
+            while state.next_sample < n:
+                size = min(sched.inject_size(state), n - state.next_sample)
+                if size <= 0:
+                    break
+                i = state.next_sample
+                if not self._fwd_rings[0].try_send(
+                    i, i, size, [X[i : i + size]]
+                ):
+                    break  # ring full: downstream backpressure
+                state.next_sample += size
+                progressed = True
+
+            for conn in mp_connection.wait(self._conns, timeout=0.05):
+                s = self._conns.index(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise PipelineRuntimeError(
+                        s,
+                        RuntimeError(
+                            "worker process died without reporting an "
+                            f"error (exitcode={self._procs[s].exitcode})"
+                        ),
+                    ) from exc
+                if msg[0] == "err":
+                    raise PipelineRuntimeError(
+                        msg[1], RuntimeError(msg[2])
+                    )
+                if msg[0] != "done":  # pragma: no cover - protocol bug
+                    raise RuntimeError(f"unexpected worker message {msg!r}")
+                _, start, size = msg
+                self.completion_order.append(start)
+                state.completed += size
+                self._executor.samples_completed += size
+                # batch boundaries: a synchronous schedule's batch only
+                # fully drains when every worker is idle (stage 0's
+                # backward is globally last), so flushing here is race-free
+                sched.end_step(proxy, state)
+                self._apply_lr_schedule()
+                progressed = True
+
+            now = time.monotonic()
+            if progressed:
+                last_progress = now
+            elif now - last_progress > self.stall_timeout:
+                raise RuntimeError(
+                    f"pipeline runtime stalled: no completion for "
+                    f"{self.stall_timeout:.1f}s "
+                    f"({state.completed}/{n} samples done)"
+                )
+        # free-running has no global clock; report the modeled span (what
+        # lockstep/sim would take) so utilization stays comparable
+        return sched.drain_span(n, self.num_stages)
+
+
 def make_pipeline_engine(
     runtime: str,
     model: StageGraphModel,
     lr: float,
     lockstep: bool = False,
     **kwargs: Any,
-) -> PipelineExecutor | ConcurrentPipelineRunner:
+) -> PipelineExecutor | ConcurrentPipelineRunner | ProcessPipelineRunner:
     """Build the requested pipeline engine behind one switch.
 
     ``runtime="sim"`` returns the discrete-time :class:`PipelineExecutor`;
-    ``runtime="threaded"`` returns a :class:`ConcurrentPipelineRunner`
-    (free-running unless ``lockstep=True``).  Both expose the same
+    ``runtime="threaded"`` a :class:`ConcurrentPipelineRunner` (one worker
+    thread per stage); ``runtime="process"`` a
+    :class:`ProcessPipelineRunner` (one worker process per stage,
+    shared-memory transport).  The concurrent engines are free-running
+    unless ``lockstep=True``.  All three expose the same
     ``train``/``samples_completed``/``set_lr`` surface, so callers like
     :class:`~repro.train.pb_trainer.PipelinedTrainer` switch engines
     without touching their training loops.
@@ -783,6 +1618,8 @@ def make_pipeline_engine(
         return PipelineExecutor(model, lr, **kwargs)
     if runtime == "threaded":
         return ConcurrentPipelineRunner(model, lr, lockstep=lockstep, **kwargs)
+    if runtime == "process":
+        return ProcessPipelineRunner(model, lr, lockstep=lockstep, **kwargs)
     raise ValueError(
-        f"runtime must be 'sim' or 'threaded', got {runtime!r}"
+        f"runtime must be 'sim', 'threaded' or 'process', got {runtime!r}"
     )

@@ -33,7 +33,7 @@ and reload them around the backward pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -289,3 +289,108 @@ class PipelineStage:
 
     def velocity(self, p) -> np.ndarray:
         return self._velocity[id(p)]
+
+    # -- state (process-runtime handoff) ----------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a reconstructed stage needs to continue training.
+
+        Only run-boundary state is captured (weights, velocity, previous
+        weights for the weight-difference prediction form, update
+        counter): between :meth:`PipelineExecutor.train` calls the stash
+        is drained and no gradient is pending, which is exactly when the
+        process runtime ships stages across process boundaries.
+        """
+        if self.stash:
+            raise RuntimeError(
+                f"stage {self.index}: state_dict with {len(self.stash)} "
+                "stashed packets in flight — drain the pipeline first"
+            )
+        return {
+            "params": [p.data.copy() for p in self.params],
+            "velocity": [self._velocity[id(p)].copy() for p in self.params],
+            "prev_weights": [
+                self._prev_weights[id(p)].copy() for p in self.params
+            ],
+            "updates_applied": int(self.updates_applied),
+            "lr": float(self.lr),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load :meth:`state_dict` output into this stage's parameters.
+
+        Parameter arrays are rebound (copies), so a model sharing the
+        ``Parameter`` objects sees the loaded weights immediately; shapes
+        are validated against the bound parameters before anything is
+        touched, so a partial load can never leave the stage torn.
+        """
+        for key in ("params", "velocity", "prev_weights"):
+            arrays = state[key]
+            if len(arrays) != len(self.params):
+                raise ValueError(
+                    f"stage {self.index}: state has {len(arrays)} {key} "
+                    f"arrays but the stage binds {len(self.params)} "
+                    "parameters"
+                )
+            for i, (p, arr) in enumerate(zip(self.params, arrays)):
+                if tuple(arr.shape) != tuple(p.data.shape):
+                    raise ValueError(
+                        f"stage {self.index}: {key}[{i}] has shape "
+                        f"{tuple(arr.shape)}, parameter expects "
+                        f"{tuple(p.data.shape)}"
+                    )
+        for p, w, v, prev in zip(
+            self.params, state["params"], state["velocity"],
+            state["prev_weights"],
+        ):
+            p.data = w.astype(p.data.dtype, copy=True)
+            self._velocity[id(p)] = v.astype(p.data.dtype, copy=True)
+            self._prev_weights[id(p)] = prev.astype(p.data.dtype, copy=True)
+            p.grad = None
+        self.updates_applied = int(state["updates_applied"])
+        self.lr = float(state.get("lr", self.lr))
+        self._pending_grads = 0
+
+
+@dataclass(frozen=True)
+class StageBuildSpec:
+    """Picklable recipe for rebuilding one stage in another process.
+
+    ``model_factory`` must be a spawn-safe callable (a module-level
+    function or ``functools.partial`` over one) returning a freshly
+    initialized :class:`~repro.models.arch.StageGraphModel`; the spec
+    slices stage ``index`` out of it and applies the per-stage optimizer
+    configuration.  Pair with :meth:`PipelineStage.load_state_dict` to
+    ship the *current* weights, since the factory reproduces only the
+    initialization.
+    """
+
+    model_factory: Callable[[], Any]
+    index: int
+    lr: float
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    mitigation: MitigationConfig | None = None
+    always_stash: bool = False
+    record_versions: bool = False
+
+    def build(self) -> PipelineStage:
+        model = self.model_factory()
+        specs = model.stage_defs
+        if not 0 <= self.index < len(specs):
+            raise ValueError(
+                f"stage index {self.index} out of range for a "
+                f"{len(specs)}-stage model"
+            )
+        stage = PipelineStage(
+            self.index,
+            specs[self.index],
+            len(specs),
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            mitigation=self.mitigation,
+        )
+        stage.always_stash = self.always_stash
+        stage.record_versions = self.record_versions
+        return stage

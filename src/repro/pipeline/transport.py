@@ -1,0 +1,473 @@
+"""Shared-memory zero-copy transport for the process pipeline runtime.
+
+The threaded runtime (:class:`~repro.pipeline.runtime.ConcurrentPipelineRunner`)
+moves packets as Python object references between threads — free, but
+serialized by the GIL.  Worker *processes* need a wire, and the obvious
+wires (``multiprocessing.Queue`` / ``Pipe``) pickle every payload: for a
+``(B, C, H, W)`` activation that is a serialize + copy + deserialize per
+hop, per packet, on the steady-state hot path.  This module provides the
+alternative the process runtime is built on: **fixed-slot single-producer
+single-consumer rings over** ``multiprocessing.shared_memory``.
+
+Design
+------
+
+A pipeline boundary carries payloads of *static structure*: the stage
+graph is linear, so the list of arrays travelling between stage ``s`` and
+``s+1`` always has the same length, per-sample shapes and dtypes — only
+the leading (micro-batch) dimension varies, and it is bounded by the
+schedule's micro-batch width.  :func:`probe_boundary_layouts` discovers
+those layouts once per run by streaming a dummy max-width packet through
+the stages (eval mode, no grad, nothing mutated), and each
+:class:`ShmRing` preallocates ``slots`` slots of exactly that layout in
+one shared-memory block:
+
+.. code-block:: text
+
+    [ head | pad ][ tail | pad ][ slot 0 ][ slot 1 ] ... [ slot k-1 ]
+    slot := [ pid | start | size ][ array 0 ][ array 1 ] ...
+
+* the **producer** copies payload arrays into the next free slot
+  (``np.copyto`` — one memcpy, no serialization) and publishes it by
+  incrementing ``head``;
+* the **consumer** receives **zero-copy NumPy views** into the slot
+  (:meth:`ShmRing.recv` allocates nothing and copies nothing) and frees
+  the slot later by incrementing ``tail`` (:meth:`ShmRing.release`).
+
+Ordering relies on the SPSC discipline: each counter has exactly one
+writer, data writes precede the ``head`` publish, and x86-TSO (plus the
+CPython interpreter executing bytecodes in order) keeps the publish from
+overtaking the data.  The same discipline is what lock-free SPSC rings
+use in C; no locks, no syscalls on the hot path.
+
+Deferred release and ring sizing
+--------------------------------
+
+The autodiff engine reads *lazily*: a compute stage's backward re-reads
+the forward input activation (``matmul`` reads ``parent.data`` at
+backward time), so a forward payload's slot must stay alive until that
+sample's **backward** completes at the stage.  The consumer therefore
+releases slots out-of-band, and capacity must cover the stage's maximum
+in-flight window: the process runtime sizes the ring into stage ``s`` as
+``D_s + 1 + slack`` slots, where ``D_s + 1 = 2(S-1-s) + 1`` is the
+PipeDream in-flight cap that also enforces the paper's eq. 5 staleness
+ceiling.  Gradients are consumed eagerly (``_accumulate`` copies), so
+backward slots are released as soon as the stage's backward returns —
+but backward rings get the same sizing, which guarantees they can never
+fill (at most ``D_s`` backward packets can be outstanding toward stage
+``s``) and hence that backward sends never block: the runtime's
+deadlock-freedom argument.
+
+Blocking waits are adaptive spin-then-sleep with a stall deadline and an
+abort check, so a dead peer turns into a loud :class:`TransportStall`
+instead of a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import no_grad
+
+#: The lock-free publish protocol relies on total-store-order (stores
+#: become visible in program order), which x86 guarantees.  On
+#: weakly-ordered machines (aarch64, POWER) every counter access is
+#: routed through a per-ring lock instead: the acquire/release pair is
+#: the memory fence Python cannot otherwise express, trading a little
+#: hot-path cost for correctness.  ``REPRO_SHM_FENCE=1`` forces the
+#: fenced mode anywhere (used by the tests to exercise the path).
+_TSO_MACHINES = {"x86_64", "amd64", "i386", "i686", "x86"}
+
+
+def _needs_fence() -> bool:
+    if os.environ.get("REPRO_SHM_FENCE", "") not in ("", "0"):
+        return True
+    return platform.machine().lower() not in _TSO_MACHINES
+
+#: Alignment for the slot header and each array region (cache line).
+_ALIGN = 64
+#: Spin iterations before the waiter starts sleeping.
+_SPIN = 200
+#: Sleep ceiling for the adaptive backoff (seconds).
+_MAX_SLEEP = 0.002
+
+
+class TransportError(RuntimeError):
+    """Misuse of a ring (layout mismatch, release underflow, ...)."""
+
+
+class TransportStall(TransportError):
+    """A blocking ring operation exceeded its deadline."""
+
+
+class TransportAborted(TransportError):
+    """A blocking ring operation observed the shared abort flag."""
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Shape/dtype of one slot array; leading dim is the max batch width."""
+
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def payload_specs(payload: Sequence[np.ndarray]) -> tuple[ArraySpec, ...]:
+    """Layout of a concrete payload (its arrays' shapes and dtypes)."""
+    return tuple(ArraySpec(tuple(a.shape), str(a.dtype)) for a in payload)
+
+
+def probe_boundary_layouts(
+    stages, x_packet: np.ndarray
+) -> list[tuple[ArraySpec, ...]]:
+    """Payload layout entering each stage, for a max-width input packet.
+
+    Streams a dummy packet through every non-loss stage's forward with
+    ``train=False`` under ``no_grad`` and the modules forced into eval
+    mode (so BatchNorm running stats and Dropout RNG streams are not
+    touched); layout ``b`` describes the forward ring *into* stage ``b``
+    — and, because a stage's backward output mirrors its forward input,
+    also the backward ring flowing back *out of* stage ``b``.
+    """
+    modules = [st.spec.module for st in stages if st.spec.module is not None]
+    prev_modes = [m.training for m in modules]
+    for m in modules:
+        m.eval()
+    try:
+        with no_grad():
+            payload = [np.ascontiguousarray(x_packet)]
+            layouts = [payload_specs(payload)]
+            for stage in stages[:-1]:  # the loss stage consumes, emits nothing
+                payload = stage.forward(-1, payload, train=False)
+                layouts.append(payload_specs(payload))
+    finally:
+        for m, mode in zip(modules, prev_modes):
+            m.train(mode)
+    return layouts
+
+
+@dataclass(frozen=True)
+class RingDescriptor:
+    """Picklable handle: everything a worker needs to attach to a ring."""
+
+    shm_name: str
+    label: str
+    arrays: tuple[ArraySpec, ...]
+    slots: int
+
+
+@dataclass
+class _SlotViews:
+    meta: np.ndarray  # int64[3]: pid, start, size
+    arrays: list[np.ndarray]
+
+
+class ShmRing:
+    """Fixed-slot SPSC ring over one shared-memory block (module docstring).
+
+    One process calls :meth:`create` (and later :meth:`unlink`); every
+    other participant attaches via :meth:`attach` (or transparently by
+    unpickling, which is how worker specs ship rings under ``spawn``).
+    A ring has exactly one producer and one consumer; the producer uses
+    :meth:`send`/:meth:`try_send`, the consumer :meth:`try_recv`/
+    :meth:`recv` and :meth:`release`.
+    """
+
+    def __init__(self, descriptor: RingDescriptor, shm: shared_memory.SharedMemory,
+                 owner: bool, fence=None):
+        self.descriptor = descriptor
+        self._shm = shm
+        self._owner = owner
+        #: None on TSO machines (lock-free); a multiprocessing.Lock on
+        #: weakly-ordered ones (see _needs_fence)
+        self._fence = fence
+        self.label = descriptor.label
+        self.slots = descriptor.slots
+        buf = shm.buf
+        self._head = np.ndarray((1,), dtype=np.int64, buffer=buf, offset=0)
+        self._tail = np.ndarray((1,), dtype=np.int64, buffer=buf, offset=_ALIGN)
+        self._slot_views: list[_SlotViews] = []
+        offset = 2 * _ALIGN
+        for _ in range(descriptor.slots):
+            meta = np.ndarray((3,), dtype=np.int64, buffer=buf, offset=offset)
+            offset += _ALIGN
+            arrays = []
+            for spec in descriptor.arrays:
+                arrays.append(
+                    np.ndarray(spec.shape, dtype=spec.dtype, buffer=buf,
+                               offset=offset)
+                )
+                offset += _align(spec.nbytes)
+            self._slot_views.append(_SlotViews(meta=meta, arrays=arrays))
+        #: consumer-local read cursor (tail <= _next <= head).  A consumer
+        #: that attaches late must start at ``tail``: everything in
+        #: ``[tail, head)`` was published before it arrived and is still
+        #: unconsumed (the producer may legally run ahead of the attach).
+        self._next = int(self._tail[0])
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def _block_size(arrays: Sequence[ArraySpec], slots: int) -> int:
+        slot = _ALIGN + sum(_align(a.nbytes) for a in arrays)
+        return 2 * _ALIGN + slots * slot
+
+    @classmethod
+    def create(cls, label: str, arrays: Sequence[ArraySpec], slots: int
+               ) -> "ShmRing":
+        if slots < 1:
+            raise TransportError(f"ring {label!r} needs >= 1 slot, got {slots}")
+        arrays = tuple(arrays)
+        shm = shared_memory.SharedMemory(
+            create=True, size=cls._block_size(arrays, slots)
+        )
+        desc = RingDescriptor(
+            shm_name=shm.name, label=label, arrays=arrays, slots=slots
+        )
+        # a spawn-context lock works under every start method: fork
+        # children inherit it, spawn children unpickle it (same-context
+        # pickling is the one combination multiprocessing allows)
+        fence = mp.get_context("spawn").Lock() if _needs_fence() else None
+        ring = cls(desc, shm, owner=True, fence=fence)
+        ring._head[0] = 0
+        ring._tail[0] = 0
+        ring._next = 0
+        return ring
+
+    @classmethod
+    def attach(cls, descriptor: RingDescriptor, fence=None) -> "ShmRing":
+        # Python <=3.12 registers attached segments with the resource
+        # tracker as if the attaching process owned them; the tracker's
+        # cache is a *set*, so the duplicate registrations collapse and
+        # the matching unregisters raise KeyErrors at teardown.  Only the
+        # creator owns a ring here — suppress registration for the attach.
+        orig_register = resource_tracker.register
+
+        def _no_shm_register(name, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                orig_register(name, rtype)
+
+        resource_tracker.register = _no_shm_register
+        try:
+            shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+        finally:
+            resource_tracker.register = orig_register
+        return cls(descriptor, shm, owner=False, fence=fence)
+
+    def __reduce__(self):
+        # pickling a ring (spawn-start worker specs) yields an attach;
+        # the fence lock travels with it (multiprocessing pickles
+        # semaphores through Process args on any start method)
+        return (ShmRing.attach, (self.descriptor, self._fence))
+
+    # -- waiting ------------------------------------------------------------
+
+    def _wait(self, ready, timeout: float, what: str, abort=None) -> None:
+        """Adaptive spin-then-sleep until ``ready()`` or deadline/abort."""
+        deadline = time.monotonic() + timeout
+        spins = 0
+        sleep = 1e-5
+        while not ready():
+            spins += 1
+            if spins <= _SPIN:
+                continue
+            if abort is not None and abort.is_set():
+                raise TransportAborted(
+                    f"ring {self.label!r}: aborted while waiting for {what}"
+                )
+            if time.monotonic() >= deadline:
+                raise TransportStall(
+                    f"ring {self.label!r}: stalled waiting for {what} "
+                    f"({timeout:.1f}s) — likely a dead or deadlocked peer"
+                )
+            time.sleep(sleep)
+            sleep = min(sleep * 2.0, _MAX_SLEEP)
+
+    # -- producer side ------------------------------------------------------
+
+    def _write(self, pid: int, start: int, size: int,
+               payload: Sequence[np.ndarray]) -> None:
+        if self._fence is None:
+            self._write_body(pid, start, size, payload)
+        else:
+            # weak-memory machines: the lock's release fences the payload
+            # stores ahead of the head publish for any consumer whose
+            # poll() acquires the same lock
+            with self._fence:
+                self._write_body(pid, start, size, payload)
+
+    def _write_body(self, pid: int, start: int, size: int,
+                    payload: Sequence[np.ndarray]) -> None:
+        slot = self._slot_views[int(self._head[0]) % self.slots]
+        if len(payload) != len(slot.arrays):
+            raise TransportError(
+                f"ring {self.label!r}: payload has {len(payload)} arrays, "
+                f"layout expects {len(slot.arrays)}"
+            )
+        for buf_arr, arr in zip(slot.arrays, payload):
+            if (
+                arr.shape[1:] != buf_arr.shape[1:]
+                or arr.shape[0] > buf_arr.shape[0]
+                or arr.dtype != buf_arr.dtype
+            ):
+                raise TransportError(
+                    f"ring {self.label!r}: array {arr.shape}/{arr.dtype} does "
+                    f"not fit slot layout {buf_arr.shape}/{buf_arr.dtype}"
+                )
+            np.copyto(buf_arr[: arr.shape[0]], arr, casting="no")
+        slot.meta[0] = pid
+        slot.meta[1] = start
+        slot.meta[2] = size
+        # publish: data writes above precede this store (SPSC contract)
+        self._head[0] = int(self._head[0]) + 1
+
+    def _has_free_slot(self) -> bool:
+        if self._fence is None:
+            return int(self._head[0]) - int(self._tail[0]) < self.slots
+        with self._fence:  # pairs with the consumer's fenced release()
+            return int(self._head[0]) - int(self._tail[0]) < self.slots
+
+    def try_send(self, pid: int, start: int, size: int,
+                 payload: Sequence[np.ndarray]) -> bool:
+        """Non-blocking send; ``False`` when the ring is full."""
+        if not self._has_free_slot():
+            return False
+        self._write(pid, start, size, payload)
+        return True
+
+    def send(self, pid: int, start: int, size: int,
+             payload: Sequence[np.ndarray], timeout: float, abort=None) -> None:
+        """Blocking send with a stall deadline."""
+        self._wait(self._has_free_slot, timeout, "a free slot", abort)
+        self._write(pid, start, size, payload)
+
+    # -- consumer side ------------------------------------------------------
+
+    def poll(self) -> bool:
+        """Whether an unread packet is available."""
+        if self._fence is None:
+            return int(self._head[0]) > self._next
+        with self._fence:  # pairs with the producer's fenced publish
+            return int(self._head[0]) > self._next
+
+    def try_recv(self):
+        """``(pid, start, size, views)`` or ``None``; views are zero-copy."""
+        if not self.poll():
+            return None
+        slot = self._slot_views[self._next % self.slots]
+        pid, start, size = (int(v) for v in slot.meta)
+        views = [a[:size] for a in slot.arrays]
+        self._next += 1
+        return pid, start, size, views
+
+    def recv(self, timeout: float, what: str = "a packet", abort=None):
+        """Blocking :meth:`try_recv` with a stall deadline."""
+        self._wait(self.poll, timeout, what, abort)
+        return self.try_recv()
+
+    def release(self) -> None:
+        """Free the oldest received slot (strict FIFO, one per recv)."""
+        tail = int(self._tail[0])
+        if tail >= self._next:
+            raise TransportError(
+                f"ring {self.label!r}: release without an outstanding recv"
+            )
+        if self._fence is None:
+            self._tail[0] = tail + 1
+        else:
+            # fences the consumer's payload reads ahead of the free
+            with self._fence:
+                self._tail[0] = tail + 1
+
+    @property
+    def outstanding(self) -> int:
+        """Received-but-unreleased slots held by the consumer."""
+        return self._next - int(self._tail[0])
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._slot_views = []
+        self._head = self._tail = None
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - idempotent teardown
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - idempotent teardown
+                pass
+
+
+def ring_slots_for(delay: int, slack: int = 2) -> int:
+    """Slots for a ring into a stage with pipeline delay ``D_s``.
+
+    ``D_s + 1`` is the PipeDream in-flight cap (the paper's eq.-5
+    staleness ceiling); forward slots back deferred release of every
+    in-flight packet, and the identical backward sizing guarantees
+    backward sends can never block (see module docstring).
+    """
+    return delay + 1 + max(0, int(slack))
+
+
+def build_pipeline_rings(
+    stages, x_packet: np.ndarray, slack: int = 2
+) -> tuple[list[ShmRing], list[ShmRing | None]]:
+    """Create every ring of a linear pipeline run.
+
+    Returns ``(fwd_rings, bwd_rings)``: ``fwd_rings[s]`` flows into stage
+    ``s`` (``fwd_rings[0]`` is the injection ring fed by the parent) and
+    ``bwd_rings[s]`` flows from stage ``s+1`` back into stage ``s``
+    (``None`` for the last stage, which seeds its own backward).
+    """
+    layouts = probe_boundary_layouts(stages, x_packet)
+    created: list[ShmRing] = []
+    try:
+        fwd = []
+        for s in range(len(stages)):
+            fwd.append(
+                ShmRing.create(
+                    f"fwd[{s - 1 if s else 'inject'}->{s}]",
+                    layouts[s],
+                    ring_slots_for(stages[s].delay, slack),
+                )
+            )
+            created.append(fwd[-1])
+        bwd: list[ShmRing | None] = []
+        for s in range(len(stages) - 1):
+            bwd.append(
+                ShmRing.create(
+                    f"bwd[{s + 1}->{s}]",
+                    layouts[s + 1],
+                    ring_slots_for(stages[s].delay, slack),
+                )
+            )
+            created.append(bwd[-1])
+    except BaseException:
+        # a partial failure (e.g. /dev/shm exhaustion midway) must not
+        # strand the segments already created
+        for ring in created:
+            ring.close()
+            ring.unlink()
+        raise
+    bwd.append(None)
+    return fwd, bwd

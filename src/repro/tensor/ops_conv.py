@@ -10,9 +10,52 @@ gradient.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.tensor.tensor import Tensor, _accumulate, _ensure_tensor, _result
+
+
+class _ScratchCache(threading.local):
+    """Thread-local pool of reusable backward work buffers, keyed by
+    ``(role, shape, dtype)``.
+
+    The convolution backward's two big temporaries — the column-gradient
+    matrix and the padded input-gradient canvas — are consumed *within*
+    one ``_bw`` call and never escape it, so each worker thread (one per
+    pipeline stage in the threaded runtime; one per process in the
+    process runtime) can reuse a single buffer per shape instead of
+    paying an allocation + page-fault sweep per packet.  Thread-locality
+    keeps concurrent stage workers from sharing (and corrupting) a
+    buffer; anything *returned* from a backward is still freshly
+    allocated, because gradients are retained by the autodiff graph and
+    shipped across stages.
+    """
+
+    #: cache ceiling per thread; heterogeneous workloads (many layer
+    #: shapes / batch widths in one long-lived process) reset the cache
+    #: rather than growing resident memory without bound
+    MAX_BYTES = 64 * 1024 * 1024
+
+    def __init__(self):
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._bytes = 0
+
+    def get(self, role: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (role, shape, np.dtype(dtype).str)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            if self._bytes + buf.nbytes > self.MAX_BYTES:
+                self._buffers.clear()
+                self._bytes = 0
+            self._buffers[key] = buf
+            self._bytes += buf.nbytes
+        return buf
+
+
+_scratch = _ScratchCache()
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
@@ -40,17 +83,31 @@ def col2im(
     kh: int,
     kw: int,
     stride: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Scatter-add column gradients back to the (padded) input layout.
 
     Inverse of :func:`im2col` in the adjoint sense.  Loops only over the
     ``kh*kw`` kernel positions; each iteration is a vectorized slice-add.
+    ``out``, when given, is zeroed and scattered into instead of
+    allocating a fresh canvas (the conv backward reuses a cached scratch
+    buffer here) — the add order is unchanged, so results stay
+    bit-identical.
     """
     n, c, h, w = x_shape
     oh = (h - kh) // stride + 1
     ow = (w - kw) // stride + 1
     cols = cols.reshape(n, c, kh, kw, oh, ow)
-    x = np.zeros(x_shape, dtype=cols.dtype)
+    if out is None:
+        x = np.zeros(x_shape, dtype=cols.dtype)
+    else:
+        if out.shape != x_shape or out.dtype != cols.dtype:
+            raise ValueError(
+                f"col2im out buffer {out.shape}/{out.dtype} does not match "
+                f"{x_shape}/{cols.dtype}"
+            )
+        x = out
+        x.fill(0.0)
     for i in range(kh):
         i_end = i + oh * stride
         for j in range(kw):
@@ -105,15 +162,27 @@ def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
 
     def _bw(g: np.ndarray) -> None:
         go = g.reshape(n, oc, oh * ow)
-        # weight gradient: forward-captured activations x backward grads
-        gw = np.matmul(go, cols.transpose(0, 2, 1)).sum(axis=0).reshape(weight.shape)
-        _accumulate(weight, gw)
+        # weight gradient: forward-captured activations x backward grads.
+        # The per-sample outer products land in a cached scratch (consumed
+        # by the .sum reduction below); only the reduced gw is retained.
+        gw_batch = _scratch.get("gw", (n, oc, cols.shape[1]), g.dtype)
+        np.matmul(go, cols.transpose(0, 2, 1), out=gw_batch)
+        _accumulate(weight, gw_batch.sum(axis=0).reshape(weight.shape))
         # input gradient: lazy read of the *current* weight value
         w2_now = weight.data.reshape(oc, -1)
-        gcols = np.matmul(w2_now.T, go)  # (N, C*KH*KW, OH*OW)
-        gx = col2im(gcols, padded_shape, kh, kw, stride)
+        gcols = _scratch.get("gcols", (n, cols.shape[1], oh * ow), g.dtype)
+        np.matmul(w2_now.T, go, out=gcols)  # (N, C*KH*KW, OH*OW)
         if padding:
-            gx = gx[:, :, padding:-padding, padding:-padding]
+            # scatter into the cached padded canvas, then hand the graph a
+            # fresh exact-size interior copy: the old slice-view kept the
+            # whole canvas alive, this frees it for the next packet
+            canvas = _scratch.get("canvas", padded_shape, g.dtype)
+            col2im(gcols, padded_shape, kh, kw, stride, out=canvas)
+            gx = canvas[:, :, padding:-padding, padding:-padding].copy()
+        else:
+            # unpadded: the canvas *is* the retained gradient, so it must
+            # be freshly allocated
+            gx = col2im(gcols, padded_shape, kh, kw, stride)
         _accumulate(x, gx)
         if bias is not None:
             _accumulate(bias, g.sum(axis=(0, 2, 3)))

@@ -50,13 +50,19 @@ class PipelinedTrainer:
         :class:`~repro.pipeline.executor.PipelineExecutor`;
         ``"threaded"`` through the concurrent
         :class:`~repro.pipeline.runtime.ConcurrentPipelineRunner` with
-        one worker thread per stage.
+        one worker thread per stage; ``"process"`` through the
+        :class:`~repro.pipeline.runtime.ProcessPipelineRunner` with one
+        worker *process* per stage and shared-memory packet transport
+        (the only backend whose stages execute on separate cores).
     lockstep:
-        Only with ``runtime="threaded"``: ``True`` adds the
-        per-time-step barrier that makes the threaded run bit-exact
-        with the simulator; the default ``False`` free-runs (fastest,
-        but ``pb``/``1f1b`` trajectories then depend on thread timing —
-        see ``runtime.py``).
+        Only with the concurrent runtimes: ``True`` adds the
+        per-time-step barrier that makes the run bit-exact with the
+        simulator; the default ``False`` free-runs (fastest, but
+        ``pb``/``1f1b`` trajectories then depend on worker timing — see
+        ``runtime.py``).
+    engine_kwargs:
+        Extra engine-specific keyword arguments (e.g. ``model_factory``
+        / ``start_method`` for the process backend).
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class PipelinedTrainer:
         schedule: Schedule | None = None,
         runtime: str = "sim",
         lockstep: bool = False,
+        **engine_kwargs,
     ):
         self.model = model
         self.dataset = dataset
@@ -87,16 +94,17 @@ class PipelinedTrainer:
         scaled = reference.scaled_to(schedule.update_size)
         self.hyperparams = scaled
         self.runtime = runtime
-        engine_kwargs = dict(
+        kwargs = dict(
             lr=scaled.lr,
             momentum=scaled.momentum,
             weight_decay=scaled.weight_decay,
             mitigation=self.mitigation,
             schedule=schedule,
             lr_schedule=lr_schedule,
+            **engine_kwargs,
         )
         self.executor = make_pipeline_engine(
-            runtime, model, lockstep=lockstep, **engine_kwargs
+            runtime, model, lockstep=lockstep, **kwargs
         )
         self.augment = augment
         self.rng = new_rng(derive_seed(seed, "pb_trainer"))

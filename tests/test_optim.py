@@ -84,6 +84,76 @@ class TestSGDM:
         opt2.load_state_dict(state)
         np.testing.assert_array_equal(opt2.velocity(p2), opt.velocity(p))
 
+    def test_load_state_dict_validates_velocity_count(self, rng):
+        p1, p2 = Parameter(np.ones(3)), Parameter(np.ones(3))
+        opt = SGDM([p1, p2], lr=0.1, momentum=0.9)
+        state = opt.state_dict()
+        state["velocity"] = state["velocity"][:1]
+        with pytest.raises(ValueError, match="velocity buffers"):
+            opt.load_state_dict(state)
+
+    def test_load_state_dict_validates_velocity_shapes(self, rng):
+        """A mismatched velocity used to load silently and detonate at
+        the next step; now it raises up front, naming the parameter."""
+        p = Parameter(rng.normal(size=(3, 4)))
+        opt = SGDM([p], lr=0.1, momentum=0.9)
+        state = opt.state_dict()
+        state["velocity"] = [np.zeros((7, 2))]
+        with pytest.raises(ValueError, match=r"velocity\[0\]"):
+            opt.load_state_dict(state)
+        # the optimizer is untouched and still steps fine
+        p.grad = np.ones((3, 4))
+        opt.step()
+
+    @pytest.mark.parametrize("wd", [0.0, 0.37])
+    @pytest.mark.parametrize("nesterov", [False, True])
+    def test_inplace_step_bit_exact_vs_naive(self, rng, wd, nesterov):
+        """The in-place step (np.multiply/add/subtract with out=) keeps
+        the textbook operation order, so trajectories are bit-identical
+        to the naive out-of-place form."""
+        shapes = [(4, 3), (8,), (2, 2, 2)]
+        params = [Parameter(rng.normal(size=s)) for s in shapes]
+        naive = [p.data.copy() for p in params]
+        naive_v = [np.zeros_like(p.data) for p in params]
+        opt = SGDM(params, lr=0.07, momentum=0.9, weight_decay=wd,
+                   nesterov=nesterov)
+        for _ in range(5):
+            grads = [rng.normal(size=s) for s in shapes]
+            for p, g in zip(params, grads):
+                p.grad = g.copy()
+            opt.step()
+            for i, g in enumerate(grads):
+                if wd:
+                    g = g + wd * naive[i]
+                naive_v[i] = 0.9 * naive_v[i] + g
+                update = 0.9 * naive_v[i] + g if nesterov else naive_v[i]
+                naive[i] = naive[i] - 0.07 * update
+        for p, w, v in zip(params, naive, naive_v):
+            assert np.array_equal(p.data, w), "weights drifted from naive"
+            assert np.array_equal(opt.velocity(p), v)
+
+    def test_step_updates_weights_in_place(self, rng):
+        """p.data is mutated, not rebound — callers holding the buffer
+        (e.g. zero-copy views) observe the update."""
+        p = Parameter(rng.normal(size=(5,)))
+        buf = p.data
+        p.grad = rng.normal(size=5)
+        SGDM([p], lr=0.1, momentum=0.9).step()
+        assert p.data is buf
+
+    def test_steady_state_step_allocates_no_new_buffers(self, rng):
+        """After the first step warms the scratch cache, repeated steps
+        reuse the same buffers (the satellite's allocation win)."""
+        p = Parameter(rng.normal(size=(64, 64)))
+        opt = SGDM([p], lr=0.1, momentum=0.9, weight_decay=1e-4)
+        p.grad = rng.normal(size=(64, 64))
+        opt.step()
+        scratch_ids = {k: id(v) for k, v in opt._scratch.items()}
+        for _ in range(3):
+            p.grad = rng.normal(size=(64, 64))
+            opt.step()
+        assert {k: id(v) for k, v in opt._scratch.items()} == scratch_ids
+
 
 class TestScalingRules:
     def test_known_value_batch_1(self):
