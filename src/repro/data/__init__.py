@@ -14,7 +14,11 @@ from repro.data.synthetic import (
     SyntheticImageNet,
 )
 from repro.data.augment import PadCropFlip
-from repro.data.loader import iterate_batches, sample_stream
+from repro.data.loader import (
+    ResumableSampleStream,
+    iterate_batches,
+    sample_stream,
+)
 
 __all__ = [
     "Dataset",
@@ -22,6 +26,7 @@ __all__ = [
     "SyntheticCifar",
     "SyntheticImageNet",
     "PadCropFlip",
+    "ResumableSampleStream",
     "iterate_batches",
     "sample_stream",
 ]

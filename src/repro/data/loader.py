@@ -1,7 +1,21 @@
-"""Batch iteration and per-sample streams over datasets."""
+"""Batch iteration and per-sample streams over datasets.
+
+Two stream flavors feed the pipelined trainers:
+
+* :func:`sample_stream` — the eager helper: materializes every epoch of
+  a multi-epoch run up front (O(epochs·N) memory).  Kept for tests and
+  small experiment sweeps, where a few hundred samples are cheaper to
+  concatenate than to manage.
+* :class:`ResumableSampleStream` — the lazy equivalent the trainers
+  consume: one epoch in memory at a time (O(N)), identical sample
+  sequence for the same seed (equivalence-tested), and a serializable
+  cursor ``(epoch, index, rng state)`` so a checkpointed run resumes on
+  the exact sample the uninterrupted run would have seen next.
+"""
 
 from __future__ import annotations
 
+import copy
 from typing import Iterator
 
 import numpy as np
@@ -51,8 +65,12 @@ def sample_stream(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Concatenate ``epochs`` shuffled (augmented) passes into one stream.
 
-    The pipelined executor consumes samples one at a time; this produces
-    the full sample sequence for a multi-epoch run up front.
+    The eager helper: materializes the full multi-epoch sequence up
+    front, which caps run length by RAM.  The trainers use
+    :class:`ResumableSampleStream` instead (same sequence, one epoch in
+    memory, resumable); this stays as the reference implementation the
+    lazy stream is equivalence-tested against, and as a convenience for
+    small test workloads.
     """
     xs, ys = [], []
     for _ in range(int(epochs)):
@@ -63,3 +81,166 @@ def sample_stream(
         xs.append(xb)
         ys.append(y[idx])
     return np.concatenate(xs), np.concatenate(ys)
+
+
+class ResumableSampleStream:
+    """Lazy multi-epoch sample stream with a serializable cursor.
+
+    Produces exactly the sequence :func:`sample_stream` would (same
+    ``rng`` consumption order: one permutation draw, then the augment's
+    draws, per epoch) but materializes only the *current* epoch, so a
+    run's length is bounded by patience, not memory.
+
+    The cursor is ``(epoch, index, rng_state)`` where ``rng_state`` is
+    the generator state **at the current epoch's start** — restoring it
+    regenerates the epoch's permutation and augmentation bit-exactly and
+    skips to ``index``, so a resumed run continues mid-epoch on the very
+    next sample the uninterrupted run would have consumed.  The
+    checkpoint subsystem (:mod:`repro.pipeline.checkpoint`) persists this
+    cursor next to the engine state.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        rng: np.random.Generator,
+        augment=None,
+    ):
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y length mismatch")
+        if x.shape[0] == 0:
+            raise ValueError("cannot stream an empty dataset")
+        if int(epochs) < 0:
+            raise ValueError(f"epochs must be >= 0, got {epochs}")
+        self.x = x
+        self.y = y
+        self.epochs = int(epochs)
+        self.rng = rng
+        self.augment = augment
+        self.epoch = 0  # current epoch (== epochs when exhausted)
+        self.index = 0  # next sample within the current epoch
+        self._epoch_x: np.ndarray | None = None
+        self._epoch_y: np.ndarray | None = None
+        self._epoch_rng_state: dict | None = None
+
+    # -- cursor arithmetic --------------------------------------------------
+
+    @property
+    def samples_per_epoch(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def total_samples(self) -> int:
+        return self.epochs * self.samples_per_epoch
+
+    @property
+    def position(self) -> int:
+        """Samples consumed so far (global stream offset)."""
+        return self.epoch * self.samples_per_epoch + self.index
+
+    @property
+    def remaining(self) -> int:
+        return self.total_samples - self.position
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    # -- epoch materialization ----------------------------------------------
+
+    def _materialize_epoch(self) -> None:
+        """Shuffle (and augment) the current epoch; one epoch in memory.
+
+        Consumes the rng exactly as :func:`sample_stream` does for this
+        epoch.  The pre-permutation rng state is *not* kept here — a
+        cursor captured mid-epoch stores it via :meth:`state_dict`'s
+        ``_epoch_rng_state`` bookkeeping below.
+        """
+        if self._epoch_x is not None:
+            return
+        self._epoch_rng_state = copy.deepcopy(self.rng.bit_generator.state)
+        idx = self.rng.permutation(self.samples_per_epoch)
+        xb = self.x[idx]
+        if self.augment is not None:
+            xb = self.augment(xb, self.rng)
+        self._epoch_x = xb
+        self._epoch_y = self.y[idx]
+
+    def _drop_epoch(self) -> None:
+        self._epoch_x = None
+        self._epoch_y = None
+        self._epoch_rng_state = None
+
+    # -- consumption --------------------------------------------------------
+
+    def next_chunk(self, max_samples: int) -> tuple[np.ndarray, np.ndarray]:
+        """The next up-to-``max_samples`` samples, crossing epoch
+        boundaries as needed; returns ``(xs, ys)`` (views when the chunk
+        fits inside one epoch, copies otherwise)."""
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        need = min(int(max_samples), self.remaining)
+        if need <= 0:
+            raise ValueError("stream is exhausted")
+        parts_x: list[np.ndarray] = []
+        parts_y: list[np.ndarray] = []
+        n = self.samples_per_epoch
+        while need > 0:
+            self._materialize_epoch()
+            take = min(need, n - self.index)
+            parts_x.append(self._epoch_x[self.index : self.index + take])
+            parts_y.append(self._epoch_y[self.index : self.index + take])
+            self.index += take
+            need -= take
+            if self.index >= n:
+                self.epoch += 1
+                self.index = 0
+                self._drop_epoch()
+        if len(parts_x) == 1:
+            return parts_x[0], parts_y[0]
+        return np.concatenate(parts_x), np.concatenate(parts_y)
+
+    # -- cursor (checkpoint/resume) -----------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable cursor: ``(epoch, index)`` plus the rng state at
+        the current epoch's start (the live rng state when nothing of
+        the epoch has been consumed yet)."""
+        if self._epoch_x is None:
+            rng_state = copy.deepcopy(self.rng.bit_generator.state)
+        else:
+            rng_state = copy.deepcopy(self._epoch_rng_state)
+        return {
+            "epoch": int(self.epoch),
+            "index": int(self.index),
+            "epochs": int(self.epochs),
+            "samples_per_epoch": self.samples_per_epoch,
+            "rng_state": rng_state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` cursor.
+
+        The stream must wrap the same dataset (size-checked); the next
+        :meth:`next_chunk` regenerates the in-progress epoch from the
+        restored rng state and continues at ``index``.
+        """
+        if int(state["samples_per_epoch"]) != self.samples_per_epoch:
+            raise ValueError(
+                f"cursor was captured over {state['samples_per_epoch']} "
+                f"samples/epoch, this stream has {self.samples_per_epoch}"
+            )
+        epoch = int(state["epoch"])
+        index = int(state["index"])
+        epochs = int(state["epochs"])
+        if not 0 <= epoch <= epochs:
+            raise ValueError(f"cursor epoch {epoch} outside [0, {epochs}]")
+        if not 0 <= index < max(1, self.samples_per_epoch):
+            raise ValueError(f"cursor index {index} outside the epoch")
+        self.epochs = epochs
+        self.epoch = epoch
+        self.index = index
+        self.rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+        self._drop_epoch()

@@ -9,6 +9,9 @@ Usage::
     python -m repro.experiments schedule_comparison --schedule gpipe
     python -m repro.experiments schedule_comparison --runtime process
     python -m repro.experiments runtime_comparison
+    python -m repro.experiments durable_training --checkpoint ckpts
+    python -m repro.experiments durable_training --schedule pb \
+        --resume ckpts/pb.ckpt
 """
 
 from __future__ import annotations
@@ -69,6 +72,22 @@ def main(argv: list[str] | None = None) -> int:
         "(process, free-running)",
     )
     parser.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint directory for durability-aware experiments "
+        "(e.g. durable_training): snapshots land here instead of a "
+        "temp dir",
+    )
+    parser.add_argument(
+        "--checkpoint-every", metavar="N", type=int, default=None,
+        help="samples between snapshots (rounded up to a drain "
+        "barrier, i.e. a multiple of the schedule's update size)",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="resume a durability-aware experiment from a checkpoint "
+        "file written by an earlier --checkpoint run",
+    )
+    parser.add_argument(
         "--save", action="store_true", help="persist to results/<id>.json"
     )
     args = parser.parse_args(argv)
@@ -89,6 +108,12 @@ def main(argv: list[str] | None = None) -> int:
         overrides["schedule"] = args.schedule
     if args.runtime is not None:
         overrides["runtime"] = args.runtime
+    if args.checkpoint is not None:
+        overrides["checkpoint"] = args.checkpoint
+    if args.checkpoint_every is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if args.resume is not None:
+        overrides["resume"] = args.resume
     payload = run_experiment(args.experiment, scale, **overrides)
     _print_payload(args.experiment, payload)
     if args.save:

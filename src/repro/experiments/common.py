@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.delayed_sgd import DelayedSGDM, delayed_train_step
 from repro.core.mitigation import MitigationConfig
-from repro.data.loader import iterate_batches, sample_stream
+from repro.data.loader import ResumableSampleStream, iterate_batches
 from repro.data.synthetic import Dataset, SyntheticCifar, SyntheticImageNet
 from repro.experiments.scale import Scale
 from repro.models.arch import StageGraphModel
@@ -233,12 +233,15 @@ def run_pb_executor(
     curve: list[tuple[int, float]] = []
     done = 0
     chunk = max(1, total // 4) if record_curve else total
+    # lazy stream: one epoch in memory regardless of run length, and the
+    # curve chunks continue mid-epoch instead of re-shuffling per chunk
+    epochs = max(1, -(-total // ds.x_train.shape[0]))
+    stream = ResumableSampleStream(ds.x_train, ds.y_train, epochs, rng)
     while done < total:
         take = min(chunk, total - done)
-        epochs = max(1, -(-take // ds.x_train.shape[0]))
-        xs, ys = sample_stream(ds.x_train, ds.y_train, epochs, rng)
-        ex.train(xs[:take], ys[:take])
-        done += take
+        xs, ys = stream.next_chunk(take)
+        ex.train(xs, ys)
+        done += xs.shape[0]
         if record_curve:
             _, acc = evaluate(model, ds.x_val, ds.y_val)
             curve.append((done, acc))

@@ -102,6 +102,12 @@ EXPERIMENTS: dict[str, tuple[Callable[..., dict], str]] = {
         "Extension — discrete-time simulator vs concurrent multi-worker "
         "runtime: lockstep bit-exactness + free-running wall-clock",
     ),
+    "durable_training": (
+        extensions.durable_training,
+        "Extension — checkpoint/resume durability: interrupted runs "
+        "resume to hex-identical weights (supports --resume / "
+        "--checkpoint / --checkpoint-every)",
+    ),
 }
 
 

@@ -17,6 +17,10 @@
   one thread per stage, packets through per-stage queues, driven by the
   same schedules.  Lockstep mode is bit-exact with the executor;
   free-running mode measures real per-stage busy/idle wall-clock time.
+* :mod:`~repro.pipeline.checkpoint` — durable training: versioned run
+  checkpoints capturing every stage's state plus the data-stream cursor
+  at drain barriers, bit-exact resume, and the :class:`DurableRun`
+  driver that snapshots on a fixed cadence.
 * :mod:`~repro.pipeline.occupancy` — occupancy-grid timing models for
   Figures 1-2 and the schedule-comparison example.
 * :mod:`~repro.pipeline.utilization` — closed-form utilization (eq. 1,
@@ -43,6 +47,17 @@ from repro.pipeline.schedule import (
     make_schedule,
 )
 from repro.pipeline.executor import PipelineExecutor, PipelineRunStats
+from repro.pipeline.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    DurableRun,
+    DurableRunResult,
+    capture_checkpoint,
+    load_checkpoint,
+    model_fingerprint,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.pipeline.runtime import (
     ConcurrentPipelineRunner,
     PipelineRuntimeError,
@@ -101,6 +116,15 @@ __all__ = [
     "make_schedule",
     "PipelineExecutor",
     "PipelineRunStats",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "DurableRun",
+    "DurableRunResult",
+    "capture_checkpoint",
+    "load_checkpoint",
+    "model_fingerprint",
+    "restore_checkpoint",
+    "save_checkpoint",
     "ConcurrentPipelineRunner",
     "PipelineRuntimeError",
     "ProcessPipelineRunner",

@@ -226,6 +226,72 @@ class PipelineExecutor:
         for stage in self.stages:
             stage.flush_update(count)
 
+    # -- engine state (checkpoint/resume) -----------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete engine state at a drain barrier.
+
+        Captures every stage's weights/velocity/previous-weights/counters
+        (via :meth:`PipelineStage.state_dict`, which refuses mid-flight
+        stages) plus the engine-level progress counter that drives the LR
+        schedule, tagged with the schedule identity so a restore into a
+        differently-configured engine fails loudly.  Valid only between
+        :meth:`train` calls — exactly the safe points the checkpoint
+        subsystem (:mod:`repro.pipeline.checkpoint`) snapshots at.
+        """
+        return {
+            "schedule": {
+                "name": self.schedule.name,
+                "update_size": int(self.schedule.update_size),
+                "micro_batch": int(self.schedule.micro_batch),
+            },
+            "num_stages": self.num_stages,
+            "samples_completed": int(self.samples_completed),
+            "stages": [st.state_dict() for st in self.stages],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this engine.
+
+        The schedule identity and stage count must match, and every
+        stage's arrays are validated *before* any stage is mutated, so a
+        mismatched checkpoint can never leave the engine torn.  Stashes
+        are cleared stage by stage (loaded state is a drain-barrier
+        snapshot; anything in flight is stale by definition).
+        """
+        sched = state.get("schedule", {})
+        mine = (
+            self.schedule.name,
+            int(self.schedule.update_size),
+            int(self.schedule.micro_batch),
+        )
+        theirs = (
+            sched.get("name"),
+            int(sched.get("update_size", -1)),
+            int(sched.get("micro_batch", -1)),
+        )
+        if mine != theirs:
+            raise ValueError(
+                f"engine state was captured under schedule {theirs} but "
+                f"this engine runs {mine}"
+            )
+        if int(state["num_stages"]) != self.num_stages:
+            raise ValueError(
+                f"engine state has {state['num_stages']} stages, this "
+                f"engine has {self.num_stages}"
+            )
+        stage_states = state["stages"]
+        if len(stage_states) != len(self.stages):
+            raise ValueError(
+                f"engine state has {len(stage_states)} stage payloads "
+                f"for {len(self.stages)} stages"
+            )
+        for stage, st in zip(self.stages, stage_states):
+            stage.validate_state(st)
+        for stage, st in zip(self.stages, stage_states):
+            stage.load_state_dict(st)
+        self.samples_completed = int(state["samples_completed"])
+
     # -- training -----------------------------------------------------------
 
     def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:

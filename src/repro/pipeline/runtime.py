@@ -101,6 +101,7 @@ from repro.pipeline.transport import (
     ShmRing,
     TransportAborted,
     build_pipeline_rings,
+    probe_boundary_layouts,
 )
 
 #: Seconds any single coordinator wait may block before the run is
@@ -318,6 +319,16 @@ class _ConcurrentEngineFacade:
 
     def flush_stages(self, count: int) -> None:
         self._executor.flush_stages(count)
+
+    def state_dict(self) -> dict:
+        """Engine snapshot at a drain barrier (see
+        :meth:`PipelineExecutor.state_dict`); the concurrent engines'
+        authoritative state lives in the wrapped executor's stages
+        between ``train()`` calls."""
+        return self._executor.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self._executor.load_state_dict(state)
 
     @property
     def runtime_mode(self) -> str:
@@ -1157,6 +1168,24 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
     ring_slack:
         Extra ring slots beyond the per-stage in-flight cap
         ``D_s + 1`` (see :func:`repro.pipeline.transport.ring_slots_for`).
+    max_restarts:
+        Crash recovery: how many times one :meth:`train` call may
+        respawn its workers after a stage worker dies (``0``, the
+        default, keeps the fail-fast behavior of raising
+        :class:`PipelineRuntimeError`).  Every ``train`` entry is a
+        drain barrier, so the runner snapshots the engine state there
+        (:meth:`PipelineExecutor.state_dict`); when a worker is found
+        dead — its control pipe hits EOF, or the liveness watchdog
+        spots the exited process while another worker blocks on it —
+        the run tears everything down, restores the snapshot, respawns
+        all workers from it (the same ``StageBuildSpec`` + state-ship
+        path a fresh launch uses) and replays the partial batch.  The
+        replay starts from a consistent global state, so a recovered
+        run is bit-identical to one that never crashed; ``restarts_used``
+        counts the recoveries actually taken.  Recovery restarts *all*
+        stages rather than just the dead one: in-flight packets die
+        with the worker, and only drain-barrier state is globally
+        consistent — a single-stage respawn could never be bit-exact.
 
     **lockstep** mode is bit-exact with :class:`PipelineExecutor` and the
     lockstep threaded runner: workers hold identical state (shipped via
@@ -1191,6 +1220,7 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         model_factory: Callable[[], StageGraphModel] | None = None,
         start_method: str | None = None,
         ring_slack: int = 2,
+        max_restarts: int = 0,
     ):
         self._executor = PipelineExecutor(
             model,
@@ -1238,6 +1268,10 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
             lr=lr, momentum=momentum, weight_decay=weight_decay,
             mitigation=mitigation,
         )
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.max_restarts = int(max_restarts)
+        self.restarts_used = 0
         self.last_runtime_stats: RuntimeStats | None = None
         self.completion_order: list[int] = []
         self._procs: list[mp.process.BaseProcess] = []
@@ -1246,6 +1280,10 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         self._rings: list[ShmRing] = []
         self._fwd_rings: list[ShmRing] = []
         self._abort = None
+        #: boundary layouts depend only on architecture + packet
+        #: shape/dtype, so relaunches (per-segment drives, crash
+        #: recovery) skip the dummy probe pass after the first launch
+        self._layout_cache: dict[tuple, list] = {}
 
     # (engine facade inherited from _ConcurrentEngineFacade)
 
@@ -1255,8 +1293,13 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         S = self.num_stages
         width = max(1, self.schedule.micro_batch)
         probe = np.zeros((width,) + X.shape[1:], dtype=X.dtype)
+        layout_key = (probe.shape, str(probe.dtype))
+        layouts = self._layout_cache.get(layout_key)
+        if layouts is None:
+            layouts = probe_boundary_layouts(self.stages, probe)
+            self._layout_cache[layout_key] = layouts
         fwd_rings, bwd_rings = build_pipeline_rings(
-            self.stages, probe, slack=self.ring_slack
+            self.stages, probe, slack=self.ring_slack, layouts=layouts
         )
         self._rings = fwd_rings + [r for r in bwd_rings if r is not None]
         self._fwd_rings = fwd_rings
@@ -1328,14 +1371,56 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         for conn in self._conns:
             conn.send(cmd)
 
+    def _find_dead_worker(self) -> int | None:
+        """Index of the first worker that died *abnormally*, or ``None``.
+
+        Abnormal means a nonzero exit code: SIGKILL/OOM/segfault.  Every
+        legitimate worker path — finalize reply, stop command, abort,
+        even an internal error (reported as an ``err`` message first) —
+        returns from ``_process_worker_main`` and exits 0, so exit code
+        is the discriminator that works in every phase (a worker that
+        has replied to finalize may exit 0 while the parent still drains
+        its siblings).  The check exists because pipe EOF alone cannot
+        flag a dead worker: under ``fork`` sibling workers inherit each
+        other's pipe ends, keeping the write side open after a SIGKILL,
+        and a dead stage can leave its *neighbors* blocked on rings with
+        their own pipes silent.
+        """
+        for s, p in enumerate(self._procs):
+            if p.ident is not None and (p.exitcode or 0) != 0:
+                return s
+        return None
+
+    def _raise_dead_worker(self, s: int) -> None:
+        raise PipelineRuntimeError(
+            s,
+            RuntimeError(
+                "worker process died without reporting an error "
+                f"(exitcode={self._procs[s].exitcode})"
+            ),
+        )
+
     def _recv(self, s: int):
-        """One message from worker ``s`` with the stall deadline."""
-        if not self._conns[s].poll(self.stall_timeout):
-            raise RuntimeError(
-                f"pipeline runtime stalled waiting on stage {s} worker "
-                f"({self.stall_timeout:.1f}s) — likely deadlock or a dead "
-                "process"
-            )
+        """One message from worker ``s`` with the stall deadline.
+
+        While waiting, worker health is polled: an abnormally-exited
+        worker raises :class:`PipelineRuntimeError` immediately instead
+        of stalling out.  A killed worker with nothing buffered (the
+        poll above was ``False``) sent nothing before dying — once
+        ``send`` has returned in the child its bytes are in the pipe
+        buffer and visible to ``poll`` — so raising loses no messages.
+        """
+        deadline = time.monotonic() + self.stall_timeout
+        while not self._conns[s].poll(0.05):
+            dead = self._find_dead_worker()
+            if dead is not None:
+                self._raise_dead_worker(dead)
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"pipeline runtime stalled waiting on stage {s} worker "
+                    f"({self.stall_timeout:.1f}s) — likely deadlock or a "
+                    "dead process"
+                )
         try:
             msg = self._conns[s].recv()
         except (EOFError, OSError) as exc:
@@ -1420,7 +1505,14 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
     # -- public entry -------------------------------------------------------
 
     def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
-        """Stream all samples through the process pipeline (training)."""
+        """Stream all samples through the process pipeline (training).
+
+        With ``max_restarts > 0`` a dead stage worker does not kill the
+        run: the engine state captured at this call's entry (a drain
+        barrier) is restored, all workers respawn from it, and the
+        partial batch replays — bit-identical to a crash-free run (see
+        the constructor docs).
+        """
         X = np.ascontiguousarray(X)
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
@@ -1441,6 +1533,30 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
                 backend="process",
             )
             return self._finish_stats(np.zeros(0), 0, counters, runtime)
+        snapshot = (
+            self._executor.state_dict() if self.max_restarts > 0 else None
+        )
+        attempt = 0
+        while True:
+            try:
+                return self._train_attempt(X, Y, n)
+            except PipelineRuntimeError:
+                if snapshot is None or attempt >= self.max_restarts:
+                    raise
+                attempt += 1
+                self.restarts_used += 1
+                # every worker (and its rings) is already gone — the
+                # attempt's finally ran _teardown(failed=True); rewind
+                # to the entry drain barrier and replay the batch
+                self._executor.load_state_dict(snapshot)
+                self.schedule.reset(n)
+                self.completion_order = []
+
+    def _train_attempt(
+        self, X: np.ndarray, Y: np.ndarray, n: int
+    ) -> PipelineRunStats:
+        """One launch/drive/finalize cycle (extracted so crash recovery
+        can replay it from a restored snapshot)."""
         losses = np.zeros(n)
         counters: list[StageRuntimeStats] = [
             StageRuntimeStats(index=s) for s in range(self.num_stages)
@@ -1580,6 +1696,14 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
                 sched.end_step(proxy, state)
                 self._apply_lr_schedule()
                 progressed = True
+
+            if state.completed < n:
+                # liveness watchdog: a SIGKILLed worker whose pipe EOF
+                # has not surfaced yet (e.g. a middle stage everyone
+                # else is still blocked on) fails the drive promptly
+                dead = self._find_dead_worker()
+                if dead is not None:
+                    self._raise_dead_worker(dead)
 
             now = time.monotonic()
             if progressed:

@@ -316,13 +316,14 @@ class PipelineStage:
             "lr": float(self.lr),
         }
 
-    def load_state_dict(self, state: dict) -> None:
-        """Load :meth:`state_dict` output into this stage's parameters.
+    def validate_state(self, state: dict) -> None:
+        """Check a :meth:`state_dict` payload against this stage's bound
+        parameters without touching anything — array counts and shapes.
 
-        Parameter arrays are rebound (copies), so a model sharing the
-        ``Parameter`` objects sees the loaded weights immediately; shapes
-        are validated against the bound parameters before anything is
-        touched, so a partial load can never leave the stage torn.
+        Split out of :meth:`load_state_dict` so multi-stage restores
+        (:meth:`PipelineExecutor.load_state_dict`) can validate *every*
+        stage before mutating *any* of them: a bad checkpoint then fails
+        atomically instead of leaving the engine half-loaded.
         """
         for key in ("params", "velocity", "prev_weights"):
             arrays = state[key]
@@ -339,6 +340,19 @@ class PipelineStage:
                         f"{tuple(arr.shape)}, parameter expects "
                         f"{tuple(p.data.shape)}"
                     )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load :meth:`state_dict` output into this stage's parameters.
+
+        Parameter arrays are rebound (copies), so a model sharing the
+        ``Parameter`` objects sees the loaded weights immediately; shapes
+        are validated against the bound parameters before anything is
+        touched, so a partial load can never leave the stage torn.  Any
+        stashed in-flight packets are dropped: loaded state is always a
+        drain-barrier snapshot, so whatever was in flight (e.g. when a
+        crashed run is being restored) is stale by definition.
+        """
+        self.validate_state(state)
         for p, w, v, prev in zip(
             self.params, state["params"], state["velocity"],
             state["prev_weights"],
@@ -350,6 +364,7 @@ class PipelineStage:
         self.updates_applied = int(state["updates_applied"])
         self.lr = float(state.get("lr", self.lr))
         self._pending_grads = 0
+        self.stash.clear()
 
 
 @dataclass(frozen=True)

@@ -430,7 +430,7 @@ def ring_slots_for(delay: int, slack: int = 2) -> int:
 
 
 def build_pipeline_rings(
-    stages, x_packet: np.ndarray, slack: int = 2
+    stages, x_packet: np.ndarray, slack: int = 2, layouts=None
 ) -> tuple[list[ShmRing], list[ShmRing | None]]:
     """Create every ring of a linear pipeline run.
 
@@ -438,8 +438,19 @@ def build_pipeline_rings(
     ``s`` (``fwd_rings[0]`` is the injection ring fed by the parent) and
     ``bwd_rings[s]`` flows from stage ``s+1`` back into stage ``s``
     (``None`` for the last stage, which seeds its own backward).
+
+    ``layouts`` accepts a precomputed :func:`probe_boundary_layouts`
+    result; boundary layouts depend only on the architecture and the
+    packet shape/dtype — never on the weights — so callers that rebuild
+    rings repeatedly (per-segment checkpointed drives, crash-recovery
+    relaunches) can probe once and skip the dummy forward pass after.
     """
-    layouts = probe_boundary_layouts(stages, x_packet)
+    if layouts is None:
+        layouts = probe_boundary_layouts(stages, x_packet)
+    elif len(layouts) != len(stages):
+        raise TransportError(
+            f"got {len(layouts)} boundary layouts for {len(stages)} stages"
+        )
     created: list[ShmRing] = []
     try:
         fwd = []

@@ -22,12 +22,19 @@ def evaluate(
     y: np.ndarray,
     batch_size: int = 64,
 ) -> tuple[float, float]:
-    """Mean loss and top-1 accuracy over a dataset split (eval mode)."""
+    """Mean loss and top-1 accuracy over a dataset split (eval mode).
+
+    An empty split returns ``(nan, nan)`` — the no-data answer — rather
+    than dividing by zero; callers aggregating curves can then filter on
+    finiteness instead of crashing on a degenerate val set.
+    """
     was_training = getattr(model, "training", True)
+    n = x.shape[0]
+    if n == 0:
+        return float("nan"), float("nan")
     model.eval()
     losses = []
     correct = 0
-    n = x.shape[0]
     with no_grad():
         for start in range(0, n, batch_size):
             xb = x[start : start + batch_size]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.mitigation import MitigationConfig
-from repro.data.loader import sample_stream
+from repro.data.loader import ResumableSampleStream
 from repro.data.synthetic import Dataset
 from repro.models.arch import StageGraphModel
 from repro.optim.scaling import HE_CIFAR_REFERENCE, HyperParams
@@ -110,14 +110,33 @@ class PipelinedTrainer:
         self.rng = new_rng(derive_seed(seed, "pb_trainer"))
         self.history = TrainingHistory(label=label or self.mitigation.name)
 
-    def train_epochs(self, epochs: int, eval_every: int = 1) -> TrainingHistory:
-        """Stream ``epochs`` shuffled passes through the pipeline."""
+    def _stream(self, epochs: int) -> ResumableSampleStream:
+        """The lazy shuffled sample stream for this trainer's dataset —
+        one epoch in memory at a time, resumable cursor for the
+        checkpoint subsystem."""
         ds = self.dataset
+        return ResumableSampleStream(
+            ds.x_train, ds.y_train, epochs, self.rng, augment=self.augment
+        )
+
+    def train_epochs(self, epochs: int, eval_every: int = 1) -> TrainingHistory:
+        """Stream ``epochs`` shuffled passes through the pipeline.
+
+        ``eval_every`` must be >= 1 (the final epoch is always
+        evaluated); pass a value larger than ``epochs`` to evaluate only
+        at the end.
+        """
+        if eval_every < 1:
+            raise ValueError(
+                f"eval_every must be >= 1, got {eval_every} (use a value "
+                "larger than epochs to evaluate only at the end)"
+            )
+        ds = self.dataset
+        stream = self._stream(int(epochs))
+        per_epoch = stream.samples_per_epoch
         for epoch in range(int(epochs)):
             self.model.train()
-            xs, ys = sample_stream(
-                ds.x_train, ds.y_train, 1, self.rng, augment=self.augment
-            )
+            xs, ys = stream.next_chunk(per_epoch)
             stats = self.executor.train(xs, ys)
             if (epoch + 1) % eval_every == 0 or epoch == epochs - 1:
                 val_loss, val_acc = evaluate(self.model, ds.x_val, ds.y_val)
@@ -132,13 +151,13 @@ class PipelinedTrainer:
     def train_samples(self, num_samples: int) -> TrainingHistory:
         """Stream exactly ``num_samples`` (with reshuffled epochs) and
         evaluate once at the end."""
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
         ds = self.dataset
         n = ds.x_train.shape[0]
         epochs = max(1, -(-num_samples // n))  # ceil
-        xs, ys = sample_stream(
-            ds.x_train, ds.y_train, epochs, self.rng, augment=self.augment
-        )
-        xs, ys = xs[:num_samples], ys[:num_samples]
+        stream = self._stream(epochs)
+        xs, ys = stream.next_chunk(int(num_samples))
         self.model.train()
         stats = self.executor.train(xs, ys)
         val_loss, val_acc = evaluate(self.model, ds.x_val, ds.y_val)

@@ -82,7 +82,18 @@ class Trainer:
     def train_epochs(
         self, epochs: int, eval_every: int = 1
     ) -> TrainingHistory:
-        """Run ``epochs`` passes; evaluate every ``eval_every`` epochs."""
+        """Run ``epochs`` passes; evaluate every ``eval_every`` epochs.
+
+        ``eval_every`` must be >= 1 (1 evaluates after every epoch; the
+        final epoch is always evaluated regardless).  There is no
+        "never evaluate" setting — pass a value larger than ``epochs``
+        to get only the final evaluation.
+        """
+        if eval_every < 1:
+            raise ValueError(
+                f"eval_every must be >= 1, got {eval_every} (use a value "
+                "larger than epochs to evaluate only at the end)"
+            )
         ds = self.dataset
         for epoch in range(int(epochs)):
             self.model.train()

@@ -5,6 +5,7 @@ import pytest
 
 from repro.data import (
     PadCropFlip,
+    ResumableSampleStream,
     SyntheticCifar,
     SyntheticImageNet,
     iterate_batches,
@@ -121,3 +122,143 @@ class TestLoader:
         # each epoch is a complete permutation
         for e in range(3):
             assert sorted(ys[e * 10 : (e + 1) * 10].tolist()) == list(range(10))
+
+
+class TestResumableSampleStream:
+    """The lazy stream: eager equivalence + cursor resume semantics."""
+
+    def _data(self, n=10, d=2, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(n, d)), np.arange(n)
+
+    def test_eager_lazy_equivalence(self):
+        """The satellite contract: identical sequence for the same seed,
+        with the eager helper as the reference implementation."""
+        x, y = self._data()
+        e_xs, e_ys = sample_stream(x, y, 3, np.random.default_rng(5))
+        stream = ResumableSampleStream(x, y, 3, np.random.default_rng(5))
+        l_xs, l_ys = stream.next_chunk(stream.total_samples)
+        np.testing.assert_array_equal(e_xs, l_xs)
+        np.testing.assert_array_equal(e_ys, l_ys)
+        assert stream.exhausted
+
+    def test_eager_lazy_equivalence_with_augmentation(self):
+        """Augmentation draws from the same rng stream per epoch, so
+        augmented sequences must match bit for bit too."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(6, 3, 8, 8))
+        y = np.arange(6)
+        aug = PadCropFlip(pad=1)
+        e_xs, e_ys = sample_stream(x, y, 2, np.random.default_rng(3),
+                                   augment=aug)
+        stream = ResumableSampleStream(x, y, 2, np.random.default_rng(3),
+                                       augment=aug)
+        l_xs, l_ys = stream.next_chunk(12)
+        np.testing.assert_array_equal(e_xs, l_xs)
+        np.testing.assert_array_equal(e_ys, l_ys)
+
+    def test_chunked_consumption_matches_one_shot(self):
+        x, y = self._data()
+        one = ResumableSampleStream(x, y, 3, np.random.default_rng(5))
+        xs1, ys1 = one.next_chunk(30)
+        many = ResumableSampleStream(x, y, 3, np.random.default_rng(5))
+        parts = [many.next_chunk(7) for _ in range(4)]
+        parts.append(many.next_chunk(2))
+        np.testing.assert_array_equal(
+            xs1, np.concatenate([p[0] for p in parts])
+        )
+        np.testing.assert_array_equal(
+            ys1, np.concatenate([p[1] for p in parts])
+        )
+
+    def test_cursor_positions(self):
+        x, y = self._data()
+        stream = ResumableSampleStream(x, y, 2, np.random.default_rng(0))
+        assert (stream.position, stream.remaining) == (0, 20)
+        stream.next_chunk(13)
+        assert stream.position == 13
+        assert (stream.epoch, stream.index) == (1, 3)
+        stream.next_chunk(7)
+        assert stream.exhausted
+        with pytest.raises(ValueError, match="exhausted"):
+            stream.next_chunk(1)
+
+    def test_mid_epoch_resume_is_bit_exact(self):
+        """cursor = (epoch, index, rng state): a fresh stream restored
+        from a mid-epoch cursor replays the identical remainder."""
+        x, y = self._data()
+        s1 = ResumableSampleStream(x, y, 3, np.random.default_rng(5))
+        s1.next_chunk(13)  # epoch 1, index 3
+        cursor = s1.state_dict()
+        rest1 = s1.next_chunk(17)
+
+        s2 = ResumableSampleStream(x, y, 3, np.random.default_rng(999))
+        s2.load_state_dict(cursor)
+        assert (s2.epoch, s2.index) == (1, 3)
+        rest2 = s2.next_chunk(17)
+        np.testing.assert_array_equal(rest1[0], rest2[0])
+        np.testing.assert_array_equal(rest1[1], rest2[1])
+
+    def test_epoch_boundary_resume(self):
+        x, y = self._data()
+        s1 = ResumableSampleStream(x, y, 2, np.random.default_rng(5))
+        s1.next_chunk(10)  # exactly one epoch
+        cursor = s1.state_dict()
+        assert (cursor["epoch"], cursor["index"]) == (1, 0)
+        rest1 = s1.next_chunk(10)
+        s2 = ResumableSampleStream(x, y, 2, np.random.default_rng(1))
+        s2.load_state_dict(cursor)
+        rest2 = s2.next_chunk(10)
+        np.testing.assert_array_equal(rest1[0], rest2[0])
+
+    def test_cursor_is_isolated_from_stream_progress(self):
+        """A captured cursor is a snapshot: consuming more of the
+        original stream must not mutate it."""
+        x, y = self._data()
+        s1 = ResumableSampleStream(x, y, 2, np.random.default_rng(5))
+        s1.next_chunk(4)
+        cursor = s1.state_dict()
+        s1.next_chunk(9)
+        assert cursor["index"] == 4 and cursor["epoch"] == 0
+        s2 = ResumableSampleStream(x, y, 2, np.random.default_rng(2))
+        s2.load_state_dict(cursor)
+        assert s2.position == 4
+
+    def test_only_current_epoch_in_memory(self):
+        """The O(N)-not-O(epochs*N) contract the tentpole is about."""
+        x, y = self._data()
+        stream = ResumableSampleStream(
+            x, y, 10_000, np.random.default_rng(0)
+        )
+        stream.next_chunk(5)
+        assert stream._epoch_x.shape[0] == 10  # one epoch, not 10k
+        assert stream.total_samples == 100_000
+
+    def test_validation(self):
+        x, y = self._data()
+        with pytest.raises(ValueError, match="mismatch"):
+            ResumableSampleStream(x, y[:-1], 1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="empty"):
+            ResumableSampleStream(
+                np.zeros((0, 2)), np.zeros(0), 1, np.random.default_rng(0)
+            )
+        with pytest.raises(ValueError, match="epochs"):
+            ResumableSampleStream(x, y, -1, np.random.default_rng(0))
+        stream = ResumableSampleStream(x, y, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="max_samples"):
+            stream.next_chunk(0)
+
+    def test_load_rejects_foreign_cursor(self):
+        x, y = self._data()
+        other_x, other_y = self._data(n=6)
+        s1 = ResumableSampleStream(x, y, 1, np.random.default_rng(0))
+        cursor = s1.state_dict()
+        s2 = ResumableSampleStream(
+            other_x, other_y, 1, np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError, match="samples/epoch"):
+            s2.load_state_dict(cursor)
+        bad = dict(cursor)
+        bad["epoch"] = 5
+        with pytest.raises(ValueError, match="epoch"):
+            s1.load_state_dict(bad)

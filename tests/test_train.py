@@ -36,6 +36,21 @@ class TestMetrics:
             accuracy(logits.data, tiny_dataset.y_val), abs=1e-12
         )
 
+    def test_evaluate_empty_split_returns_nan_nan(self):
+        """Regression: an empty split used to ZeroDivisionError on
+        ``np.sum(losses) / n``; the no-data answer is (nan, nan)."""
+        m = small_cnn(num_classes=4, seed=0)
+        loss, acc = evaluate(
+            m, np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=np.int64)
+        )
+        assert np.isnan(loss) and np.isnan(acc)
+
+    def test_evaluate_empty_split_keeps_training_mode(self):
+        m = small_cnn(num_classes=4, seed=0)
+        m.train()
+        evaluate(m, np.zeros((0, 3, 8, 8)), np.zeros(0, dtype=np.int64))
+        assert m.training
+
     def test_history_properties(self):
         h = TrainingHistory(label="x")
         h.record(10, 1.0, 1.2, 0.5)
@@ -89,6 +104,28 @@ class TestTrainer:
             accs.append(tr.train_epochs(2).final_val_acc)
         assert accs[0] == accs[1]
 
+    @pytest.mark.parametrize("eval_every", [0, -1])
+    def test_eval_every_zero_raises_not_modulo_crash(
+        self, tiny_dataset, eval_every
+    ):
+        """Regression: ``train_epochs(eval_every=0)`` used to die with
+        ZeroDivisionError at the ``(epoch + 1) % eval_every`` check;
+        now it is rejected up front with a clear message."""
+        m = small_cnn(num_classes=4, seed=0)
+        opt = SGDM(m.parameters(), lr=0.05)
+        tr = Trainer(m, opt, tiny_dataset, batch_size=16, seed=0)
+        with pytest.raises(ValueError, match="eval_every"):
+            tr.train_epochs(1, eval_every=eval_every)
+
+    def test_eval_every_larger_than_epochs_evaluates_once(
+        self, tiny_dataset
+    ):
+        m = small_cnn(num_classes=4, seed=0)
+        opt = SGDM(m.parameters(), lr=0.05)
+        tr = Trainer(m, opt, tiny_dataset, batch_size=16, seed=0)
+        hist = tr.train_epochs(2, eval_every=100)
+        assert len(hist.val_acc) == 1  # the always-on final evaluation
+
 
 class TestPipelinedTrainer:
     def test_scales_hyperparams_to_batch_one(self, tiny_dataset):
@@ -111,6 +148,46 @@ class TestPipelinedTrainer:
         pt = PipelinedTrainer(m, tiny_dataset, seed=0)
         hist = pt.train_samples(50)
         assert hist.samples_seen == [50]
+
+    def test_eval_every_zero_raises(self, tiny_dataset):
+        """Same regression pin as the batch trainer: the pipelined
+        trainer validates eval_every instead of modulo-crashing."""
+        m = small_cnn(num_classes=4, seed=0)
+        pt = PipelinedTrainer(m, tiny_dataset, seed=0)
+        with pytest.raises(ValueError, match="eval_every"):
+            pt.train_epochs(1, eval_every=0)
+
+    def test_train_samples_rejects_nonpositive(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        pt = PipelinedTrainer(m, tiny_dataset, seed=0)
+        with pytest.raises(ValueError, match="num_samples"):
+            pt.train_samples(0)
+
+    def test_multi_epoch_stream_is_lazy(self, tiny_dataset):
+        """The trainers consume the resumable lazy stream: sequences
+        match the eager helper for the same trainer seed."""
+        from repro.data.loader import sample_stream
+        from repro.utils.rng import derive_seed, new_rng
+
+        m = small_cnn(num_classes=4, seed=0)
+        pt = PipelinedTrainer(m, tiny_dataset, seed=4)
+        captured = {}
+        orig_train = pt.executor.train
+
+        def spy(xs, ys):
+            captured.setdefault("chunks", []).append((xs, ys))
+            return orig_train(xs, ys)
+
+        pt.executor.train = spy
+        pt.train_epochs(2)
+        rng = new_rng(derive_seed(4, "pb_trainer"))
+        e_xs, e_ys = sample_stream(
+            tiny_dataset.x_train, tiny_dataset.y_train, 2, rng
+        )
+        got_xs = np.concatenate([c[0] for c in captured["chunks"]])
+        got_ys = np.concatenate([c[1] for c in captured["chunks"]])
+        np.testing.assert_array_equal(e_xs, got_xs)
+        np.testing.assert_array_equal(e_ys, got_ys)
 
     def test_fill_drain_mode_uses_reference_scaling(self, tiny_dataset):
         m = small_cnn(num_classes=4, seed=0)
