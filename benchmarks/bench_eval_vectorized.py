@@ -1,0 +1,81 @@
+"""Vectorized ``evaluate()`` — batched forward path vs per-sample loop.
+
+``repro.train.metrics.evaluate`` streams a split through the model in
+vectorized ``(B, ...)`` batches with one fused NumPy loss pass per
+batch.  This bench measures what that buys over the per-sample form
+(``batch_size=1`` — one forward op and one loss reduction per sample)
+and records the factor.  The bit-exactness pin against the historical
+Tensor-``cross_entropy`` loop lives in ``tests/test_train.py::
+test_evaluate_bit_exact_with_pre_vectorization_loop`` (one oracle, one
+place); this bench only asserts the two forms agree numerically while
+timing them.
+
+Persists ``results/BENCH_eval.json``.  Runs only under
+``pytest -m bench``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.benchmark(group="eval")
+def test_eval_vectorized(benchmark, store):
+    from repro.data.synthetic import SyntheticCifar
+    from repro.models.simple import small_cnn
+    from repro.train.metrics import evaluate
+
+    ds = SyntheticCifar(seed=0, image_size=8, train_size=64, val_size=256)
+    model = small_cnn(num_classes=ds.num_classes, widths=(16, 32), seed=3)
+    x, y = ds.x_val, ds.y_val
+
+    def _run():
+        # sanity: both forms compute the same metrics (the hex-level
+        # refactor pin lives in tests/test_train.py)
+        batched = evaluate(model, x, y, batch_size=64)
+        per_sample = evaluate(model, x, y, batch_size=1)
+        assert batched[0] == pytest.approx(per_sample[0], rel=1e-9)
+        assert batched[1] == per_sample[1]
+        batched_s = _time(lambda: evaluate(model, x, y, batch_size=64), 3)
+        per_sample_s = _time(lambda: evaluate(model, x, y, batch_size=1), 3)
+        return batched_s, per_sample_s
+
+    batched_s, per_sample_s = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    speedup = per_sample_s / batched_s
+    print(
+        f"[eval] per-sample {per_sample_s*1e3:.1f} ms, batched(64) "
+        f"{batched_s*1e3:.1f} ms -> {speedup:.1f}x"
+    )
+    # the batched path must be a real win, not noise
+    assert speedup >= 2.0, (
+        f"batched evaluate only {speedup:.2f}x over per-sample"
+    )
+    store.save(
+        "BENCH_eval",
+        {
+            "samples": int(x.shape[0]),
+            "per_sample_seconds": per_sample_s,
+            "batched_seconds": batched_s,
+            "batch_size": 64,
+            "speedup": speedup,
+            "meta": {
+                "paper": "Evaluation uses the same vectorized (B, ...) "
+                "hot path as the micro-batched executor: one forward "
+                "op and one fused loss pass per batch.",
+            },
+        },
+    )

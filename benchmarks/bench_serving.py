@@ -1,0 +1,215 @@
+"""Serving benchmark — pipelined inference vs sequential forward.
+
+Closed-loop load generation (``concurrency`` clients, each with one
+request in flight) against the same frozen weights served two ways:
+
+* **sequential** — one request at a time through ``model.forward``
+  behind a lock: serving without a pipeline;
+* **pipelined** — :class:`repro.serve.PipelineServer`: dynamic
+  micro-batching (max-batch cap x coalescing deadline) feeding a
+  persistent forward-only pipeline stream on each runtime backend.
+
+The sweep covers offered load (closed-loop concurrency) x batcher
+deadline x runtime backend, and the headline assertion is the
+acceptance bar of the serving subsystem: **the best pipelined
+configuration sustains >= 1.5x the sequential throughput at
+equal-or-better p99** on a multi-stage model.  Response correctness is
+checked on every run: the closed-loop harness already fails loudly on
+any dropped or duplicated response, and every returned logits row must
+match the offline full-batch forward (allclose + identical argmax —
+bit-level parity against the per-packet offline reference is pinned in
+``tests/test_serve_session.py``, since dynamic batch composition varies
+with timing while BLAS rounding varies with GEMM width).
+
+Persists ``results/BENCH_serving.json``.  Set ``REPRO_BENCH_SMOKE=1``
+for a minutes-scale CI variant (fewer requests, smaller sweep) that
+still exercises the sequential baseline and both a thread- and a
+process-backed server.  Runs only under ``pytest -m bench``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+
+import pytest
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _build_trained_model():
+    """A 5-stage CNN with briefly trained (non-noise) weights."""
+    from repro.data.synthetic import SyntheticCifar
+    from repro.pipeline.runtime import make_pipeline_engine
+
+    factory = partial(_serving_model, seed=11)
+    model = factory()
+    ds = SyntheticCifar(seed=0, image_size=8, train_size=128, val_size=96)
+    engine = make_pipeline_engine("sim", model, lr=0.02, momentum=0.9,
+                                  mode="pb")
+    engine.train(ds.x_train[:96], ds.y_train[:96])
+    return model, factory, ds.x_val
+
+
+def _serving_model(seed: int = 11):
+    from repro.models.simple import small_cnn
+
+    return small_cnn(num_classes=10, widths=(16, 32), seed=seed)
+
+
+def _sequential_run(model, x_pool, num_requests, concurrency):
+    from repro.serve.loadgen import sequential_closed_loop
+
+    return sequential_closed_loop(
+        model, x_pool, num_requests, concurrency=concurrency,
+        label=f"sequential/c{concurrency}",
+    )
+
+
+def _pipelined_run(
+    model, factory, x_pool, num_requests, backend, deadline_ms,
+    concurrency, max_batch,
+):
+    from repro.serve import InferenceSession
+    from repro.serve.loadgen import pipelined_closed_loop
+
+    session = InferenceSession(
+        model,
+        runtime=backend,
+        micro_batch=max_batch,
+        sample_shape=x_pool.shape[1:],
+        model_factory=factory,
+    )
+    return pipelined_closed_loop(
+        session, x_pool, num_requests, concurrency=concurrency,
+        max_batch=max_batch, max_wait=deadline_ms / 1e3,
+        label=f"{backend}/d{deadline_ms}ms/c{concurrency}",
+    )
+
+
+def _check_outputs(result, ref_full, x_pool_size):
+    """Every response allclose + argmax-identical to the offline
+    full-batch forward (zero tolerance on predictions)."""
+    from repro.serve.loadgen import count_bad_outputs
+
+    return count_bad_outputs(result.outputs, ref_full, x_pool_size)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_benchmark(benchmark, store):
+    from repro.serve import InferenceSession
+
+    model, factory, x_pool = _build_trained_model()
+    session_ref = InferenceSession(
+        model, runtime="sim", micro_batch=x_pool.shape[0],
+        sample_shape=x_pool.shape[1:],
+    )
+    ref_full = session_ref.forward_reference(
+        x_pool, micro_batch=x_pool.shape[0]
+    )
+
+    num_requests = 150 if SMOKE else 600
+    max_batch = 8
+    backends = ["threaded", "process"] if SMOKE else [
+        "sim", "threaded", "process"
+    ]
+    deadlines_ms = [2.0] if SMOKE else [0.5, 2.0]
+    concurrencies = [8] if SMOKE else [4, 16]
+
+    def _run_all():
+        rows = []
+        seq_by_c = {}
+        for concurrency in concurrencies:
+            seq = _sequential_run(model, x_pool, num_requests, concurrency)
+            seq_by_c[concurrency] = seq
+            row = seq.as_row()
+            row.update(backend="sequential", deadline_ms=None,
+                       speedup=1.0, p99_ratio=1.0, mean_batch=1.0,
+                       bad_outputs=_check_outputs(
+                           seq, ref_full, x_pool.shape[0]))
+            rows.append(row)
+        for backend in backends:
+            for deadline_ms in deadlines_ms:
+                for concurrency in concurrencies:
+                    result, snapshot = _pipelined_run(
+                        model, factory, x_pool, num_requests, backend,
+                        deadline_ms, concurrency, max_batch,
+                    )
+                    seq = seq_by_c[concurrency]
+                    row = result.as_row()
+                    row.update(
+                        backend=backend,
+                        deadline_ms=deadline_ms,
+                        speedup=result.throughput_rps / seq.throughput_rps,
+                        p99_ratio=result.latency_p99 / seq.latency_p99,
+                        mean_batch=snapshot["mean_batch_size"],
+                        bad_outputs=_check_outputs(
+                            result, ref_full, x_pool.shape[0]
+                        ),
+                    )
+                    rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    for row in rows:
+        print(
+            f"[serving] {row['label']:>24s}: "
+            f"{row['throughput_rps']:8.1f} rps, "
+            f"p99 {row['p99_ms']:7.2f} ms, speedup {row['speedup']:.2f}x, "
+            f"p99 ratio {row['p99_ratio']:.2f}"
+        )
+
+    # response correctness: nothing dropped (run_closed_loop enforces),
+    # nothing wrong
+    assert all(r["bad_outputs"] == 0 for r in rows), (
+        f"wrong responses: {[(r['label'], r['bad_outputs']) for r in rows]}"
+    )
+    pipelined = [r for r in rows if r["backend"] != "sequential"]
+    # the acceptance bar: some pipelined configuration reaches >= 1.5x
+    # sequential throughput at equal-or-better p99.  Smoke mode (CI
+    # containers with noisy neighbors) asserts the softer "pipelining
+    # must not lose" floor; the recorded JSON carries the honest
+    # numbers either way.
+    winners = [
+        r for r in pipelined
+        if r["speedup"] >= 1.5 and r["p99_ratio"] <= 1.0
+    ]
+    best = max(pipelined, key=lambda r: r["speedup"])
+    if SMOKE:
+        assert best["speedup"] >= 1.0, (
+            f"pipelined serving slower than sequential everywhere "
+            f"(best {best['label']} at {best['speedup']:.2f}x)"
+        )
+    else:
+        assert winners, (
+            "no pipelined configuration reached 1.5x sequential "
+            "throughput at equal-or-better p99; best was "
+            f"{best['label']} at {best['speedup']:.2f}x / "
+            f"p99 ratio {best['p99_ratio']:.2f}"
+        )
+
+    store.save(
+        "BENCH_serving",
+        {
+            "rows": rows,
+            "num_requests": num_requests,
+            "max_batch": max_batch,
+            "cpu_count": os.cpu_count() or 1,
+            "smoke": SMOKE,
+            "acceptance": {
+                "target_speedup": 1.5,
+                "winners": [r["label"] for r in winners],
+                "best": best["label"],
+                "best_speedup": best["speedup"],
+                "best_p99_ratio": best["p99_ratio"],
+            },
+            "meta": {
+                "paper": "Serving extension of the paper's utilization "
+                "argument: a forward-only pipeline with dynamic "
+                "micro-batching beats sequential single-request "
+                "forward on throughput at bounded p99 — small packets, "
+                "busy stages, no large batches.",
+            },
+        },
+    )

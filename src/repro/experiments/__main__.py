@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments durable_training --checkpoint ckpts
     python -m repro.experiments durable_training --schedule pb \
         --resume ckpts/pb.ckpt
+    python -m repro.experiments serving --serve-backend process \
+        --serve-max-batch 8 --serve-deadline-ms 2
 """
 
 from __future__ import annotations
@@ -88,6 +90,31 @@ def main(argv: list[str] | None = None) -> int:
         "file written by an earlier --checkpoint run",
     )
     parser.add_argument(
+        "--serve-backend", choices=["sim", "threaded", "process"],
+        default=None,
+        help="serving experiment: pipeline backend for the inference "
+        "session (the serving counterpart of --runtime)",
+    )
+    parser.add_argument(
+        "--serve-requests", metavar="N", type=int, default=None,
+        help="serving experiment: closed-loop requests to drive",
+    )
+    parser.add_argument(
+        "--serve-max-batch", metavar="B", type=int, default=None,
+        help="serving experiment: dynamic batcher width cap (micro-"
+        "batch packet width)",
+    )
+    parser.add_argument(
+        "--serve-deadline-ms", metavar="MS", type=float, default=None,
+        help="serving experiment: batcher coalescing deadline on the "
+        "oldest queued request, in milliseconds",
+    )
+    parser.add_argument(
+        "--serve-concurrency", metavar="C", type=int, default=None,
+        help="serving experiment: closed-loop client threads (offered "
+        "load)",
+    )
+    parser.add_argument(
         "--save", action="store_true", help="persist to results/<id>.json"
     )
     args = parser.parse_args(argv)
@@ -114,6 +141,16 @@ def main(argv: list[str] | None = None) -> int:
         overrides["checkpoint_every"] = args.checkpoint_every
     if args.resume is not None:
         overrides["resume"] = args.resume
+    if args.serve_backend is not None:
+        overrides["serve_backend"] = args.serve_backend
+    if args.serve_requests is not None:
+        overrides["serve_requests"] = args.serve_requests
+    if args.serve_max_batch is not None:
+        overrides["serve_max_batch"] = args.serve_max_batch
+    if args.serve_deadline_ms is not None:
+        overrides["serve_deadline_ms"] = args.serve_deadline_ms
+    if args.serve_concurrency is not None:
+        overrides["serve_concurrency"] = args.serve_concurrency
     payload = run_experiment(args.experiment, scale, **overrides)
     _print_payload(args.experiment, payload)
     if args.save:

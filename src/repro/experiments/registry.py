@@ -108,6 +108,13 @@ EXPERIMENTS: dict[str, tuple[Callable[..., dict], str]] = {
         "resume to hex-identical weights (supports --resume / "
         "--checkpoint / --checkpoint-every)",
     ),
+    "serving": (
+        extensions.serving,
+        "Extension — pipelined inference serving vs sequential forward: "
+        "closed-loop throughput + p50/p95/p99 latency with dynamic "
+        "micro-batching (supports --serve-backend / --serve-requests / "
+        "--serve-max-batch / --serve-deadline-ms / --serve-concurrency)",
+    ),
 }
 
 

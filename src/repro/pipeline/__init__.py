@@ -21,6 +21,11 @@
   checkpoints capturing every stage's state plus the data-stream cursor
   at drain barriers, bit-exact resume, and the :class:`DurableRun`
   driver that snapshots on a fixed cadence.
+* :mod:`~repro.pipeline.inference` — forward-only serving: the
+  ``infer`` schedule's streams (sim / threaded / process over
+  backward-slot-free shared-memory rings) and the schedule-driven
+  batch driver behind every engine's ``infer()`` and
+  :mod:`repro.serve`.
 * :mod:`~repro.pipeline.occupancy` — occupancy-grid timing models for
   Figures 1-2 and the schedule-comparison example.
 * :mod:`~repro.pipeline.utilization` — closed-form utilization (eq. 1,
@@ -43,10 +48,21 @@ from repro.pipeline.schedule import (
     PipelinedBackpropSchedule,
     FillDrainSchedule,
     GPipeSchedule,
+    InferenceSchedule,
     OneFOneBSchedule,
     make_schedule,
 )
 from repro.pipeline.executor import PipelineExecutor, PipelineRunStats
+from repro.pipeline.inference import (
+    InferenceRunStats,
+    InferenceStreamError,
+    ProcessInferenceStream,
+    SimInferenceStream,
+    ThreadedInferenceStream,
+    infer_batch,
+    open_inference_stream,
+    run_inference,
+)
 from repro.pipeline.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
@@ -56,6 +72,7 @@ from repro.pipeline.checkpoint import (
     load_checkpoint,
     model_fingerprint,
     restore_checkpoint,
+    restore_inference_weights,
     save_checkpoint,
 )
 from repro.pipeline.runtime import (
@@ -72,6 +89,7 @@ from repro.pipeline.transport import (
     ShmRing,
     TransportError,
     TransportStall,
+    build_inference_rings,
     build_pipeline_rings,
     probe_boundary_layouts,
     ring_slots_for,
@@ -112,10 +130,19 @@ __all__ = [
     "PipelinedBackpropSchedule",
     "FillDrainSchedule",
     "GPipeSchedule",
+    "InferenceSchedule",
     "OneFOneBSchedule",
     "make_schedule",
     "PipelineExecutor",
     "PipelineRunStats",
+    "InferenceRunStats",
+    "InferenceStreamError",
+    "ProcessInferenceStream",
+    "SimInferenceStream",
+    "ThreadedInferenceStream",
+    "infer_batch",
+    "open_inference_stream",
+    "run_inference",
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "DurableRun",
@@ -124,6 +151,7 @@ __all__ = [
     "load_checkpoint",
     "model_fingerprint",
     "restore_checkpoint",
+    "restore_inference_weights",
     "save_checkpoint",
     "ConcurrentPipelineRunner",
     "PipelineRuntimeError",
@@ -136,6 +164,7 @@ __all__ = [
     "ShmRing",
     "TransportError",
     "TransportStall",
+    "build_inference_rings",
     "build_pipeline_rings",
     "probe_boundary_layouts",
     "ring_slots_for",

@@ -199,6 +199,63 @@ def restore_checkpoint(ckpt: dict, engine=None, stream=None) -> dict:
     return ckpt
 
 
+def restore_inference_weights(ckpt, model) -> dict:
+    """Weights-only restore for serving: load a training checkpoint's
+    parameters into a freshly built model, **stripping optimizer state**.
+
+    ``ckpt`` is a checkpoint payload (from :func:`load_checkpoint` /
+    :func:`capture_checkpoint`) or a path to a checkpoint file; ``model``
+    a :class:`~repro.models.arch.StageGraphModel` built exactly like the
+    one that trained.  Only the per-stage parameter arrays are loaded —
+    velocity, previous weights, update counters and learning rates are
+    training concerns an inference session has no use for — and the
+    schedule tag is deliberately **ignored**: the schedule a model was
+    trained under does not change what its frozen weights compute, so a
+    PB-trained checkpoint serves identically to a GPipe-trained one.
+
+    Validation is all-then-load: stage count and every parameter
+    array's shape are checked against the model before anything is
+    mutated, so a mismatched checkpoint can never leave the model torn.
+    Returns the checkpoint's ``metadata`` dict for provenance display.
+    """
+    if isinstance(ckpt, (str, os.PathLike)):
+        ckpt = load_checkpoint(os.fspath(ckpt))
+    engine_state = ckpt.get("engine")
+    if not isinstance(engine_state, dict) or "stages" not in engine_state:
+        raise CheckpointError(
+            "checkpoint payload carries no engine state to restore "
+            "weights from"
+        )
+    stage_states = engine_state["stages"]
+    specs = model.stage_defs
+    if len(stage_states) != len(specs):
+        raise CheckpointError(
+            f"checkpoint has {len(stage_states)} stage payloads but the "
+            f"model has {len(specs)} stages"
+        )
+    plan: list[tuple] = []
+    for i, (spec, st) in enumerate(zip(specs, stage_states)):
+        params = list(spec.module.parameters()) if spec.module else []
+        arrays = st.get("params", [])
+        if len(arrays) != len(params):
+            raise CheckpointError(
+                f"stage {i}: checkpoint holds {len(arrays)} parameter "
+                f"arrays but the model binds {len(params)}"
+            )
+        for j, (p, arr) in enumerate(zip(params, arrays)):
+            if tuple(arr.shape) != tuple(p.data.shape):
+                raise CheckpointError(
+                    f"stage {i}: params[{j}] has shape "
+                    f"{tuple(arr.shape)}, model expects "
+                    f"{tuple(p.data.shape)}"
+                )
+            plan.append((p, arr))
+    for p, arr in plan:
+        p.data = arr.astype(p.data.dtype, copy=True)
+        p.grad = None
+    return dict(ckpt.get("metadata", {}))
+
+
 def model_fingerprint(model) -> str:
     """SHA-256 over every parameter's raw bytes — the hex-equality
     fingerprint the resume-parity checks compare."""

@@ -271,9 +271,19 @@ class PipelineExecutor:
             int(sched.get("micro_batch", -1)),
         )
         if mine != theirs:
+
+            def _fmt(tag: tuple) -> str:
+                return (
+                    f"{tag[0]!r} (update_size={tag[1]}, "
+                    f"micro_batch={tag[2]})"
+                )
+
+            # name BOTH schedule tags — the on-disk one and this
+            # engine's — so a mis-paired checkpoint is diagnosable from
+            # the message alone
             raise ValueError(
-                f"engine state was captured under schedule {theirs} but "
-                f"this engine runs {mine}"
+                "engine state was captured under schedule "
+                f"{_fmt(theirs)} but this engine runs {_fmt(mine)}"
             )
         if int(state["num_stages"]) != self.num_stages:
             raise ValueError(
@@ -296,6 +306,11 @@ class PipelineExecutor:
 
     def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
         """Stream all samples through the pipeline (training mode)."""
+        if self.schedule.forward_only:
+            raise ValueError(
+                f"schedule {self.schedule.name!r} is forward-only; use "
+                "infer() (or repro.serve) instead of train()"
+            )
         X = np.asarray(X)
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
@@ -303,6 +318,44 @@ class PipelineExecutor:
         stats = self._run(X, Y)
         check_stages_drained(self.stages)
         return stats
+
+    # -- inference -----------------------------------------------------------
+
+    def infer(
+        self,
+        X: np.ndarray,
+        micro_batch_size: int = 1,
+        schedule=None,
+        stall_timeout: float | None = None,
+    ):
+        """Forward-only inference over the pipeline (serving mode).
+
+        Drives an :class:`~repro.pipeline.schedule.InferenceSchedule`
+        (or any ``forward_only`` schedule passed via ``schedule``)
+        through the same stages ``train`` uses, with modules held in
+        eval mode and no autodiff graph — see
+        :mod:`repro.pipeline.inference`.  Returns an
+        :class:`~repro.pipeline.inference.InferenceRunStats` whose
+        ``outputs`` are the last compute stage's logits, in input
+        order, bit-exact across all three runtime backends for the
+        same packet decomposition.
+        """
+        from repro.pipeline.inference import (
+            DEFAULT_INFER_TIMEOUT,
+            infer_batch,
+        )
+
+        return infer_batch(
+            self.stages,
+            X,
+            schedule=schedule,
+            micro_batch_size=micro_batch_size,
+            backend="sim",
+            stall_timeout=(
+                DEFAULT_INFER_TIMEOUT if stall_timeout is None
+                else stall_timeout
+            ),
+        )
 
     def _run(self, X: np.ndarray, Y: np.ndarray) -> PipelineRunStats:
         n = X.shape[0]

@@ -334,6 +334,46 @@ class _ConcurrentEngineFacade:
     def runtime_mode(self) -> str:
         return "lockstep" if self.lockstep else "free_running"
 
+    #: backend name handed to the forward-only inference streams
+    #: (overridden by ProcessPipelineRunner)
+    _infer_backend = "threaded"
+
+    def _infer_stream_kwargs(self) -> dict:
+        """Extra kwargs for the runner's inference stream backend."""
+        return {}
+
+    def infer(
+        self,
+        X: np.ndarray,
+        micro_batch_size: int = 1,
+        schedule: Schedule | None = None,
+        stall_timeout: float | None = None,
+    ):
+        """Forward-only inference on this runner's backend (serving
+        mode): the same per-stage workers that train — threads here,
+        processes with shared-memory rings for
+        :class:`ProcessPipelineRunner` — execute an
+        :class:`~repro.pipeline.schedule.InferenceSchedule` with no
+        backward slots (see :mod:`repro.pipeline.inference`).  Outputs
+        are bit-exact with the discrete-time engine's ``infer`` for the
+        same packet decomposition: no updates means no staleness, so
+        worker timing cannot change a single bit.
+        """
+        from repro.pipeline.inference import infer_batch
+
+        return infer_batch(
+            self.stages,
+            X,
+            schedule=schedule,
+            micro_batch_size=micro_batch_size,
+            backend=self._infer_backend,
+            stall_timeout=(
+                self.stall_timeout if stall_timeout is None
+                else stall_timeout
+            ),
+            **self._infer_stream_kwargs(),
+        )
+
     def _finish_stats(
         self,
         losses: np.ndarray,
@@ -490,6 +530,11 @@ class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
 
     def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
         """Stream all samples through the threaded pipeline (training)."""
+        if self.schedule.forward_only:
+            raise ValueError(
+                f"schedule {self.schedule.name!r} is forward-only; use "
+                "infer() (or repro.serve) instead of train()"
+            )
         X = np.asarray(X)
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
@@ -1287,6 +1332,14 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
 
     # (engine facade inherited from _ConcurrentEngineFacade)
 
+    _infer_backend = "process"
+
+    def _infer_stream_kwargs(self) -> dict:
+        return {
+            "model_factory": self.model_factory,
+            "start_method": self.start_method,
+        }
+
     # -- worker lifecycle ---------------------------------------------------
 
     def _launch(self, X: np.ndarray, Y: np.ndarray) -> None:
@@ -1513,6 +1566,11 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         partial batch replays — bit-identical to a crash-free run (see
         the constructor docs).
         """
+        if self.schedule.forward_only:
+            raise ValueError(
+                f"schedule {self.schedule.name!r} is forward-only; use "
+                "infer() (or repro.serve) instead of train()"
+            )
         X = np.ascontiguousarray(X)
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:

@@ -482,3 +482,50 @@ def build_pipeline_rings(
         raise
     bwd.append(None)
     return fwd, bwd
+
+
+def build_inference_rings(
+    stages, x_packet: np.ndarray, slots: int = 4, layouts=None
+) -> list[ShmRing]:
+    """Create the forward-only ring chain of a serving run.
+
+    Inference needs **no backward slots**: gradients never flow, forward
+    inputs are not re-read at backward time (there is no backward), so
+    every slot is released as soon as its packet has been transformed
+    and forwarded.  Ring ``s`` flows into stage ``s``; the last ring —
+    into the loss slot — is consumed by the *parent*, which reads the
+    final compute stage's output (the logits) straight out of shared
+    memory.  Because the eq.-5 in-flight cap is a training-staleness
+    concept, inference rings use a flat ``slots`` capacity instead of
+    ``D_s + 1 + slack``: the chain is acyclic and the parent always
+    drains the last ring, so a full ring is plain backpressure (the
+    producer blocks or the injector's ``try_send`` returns ``False``),
+    never deadlock.
+
+    ``layouts`` accepts a precomputed :func:`probe_boundary_layouts`
+    result, exactly as in :func:`build_pipeline_rings`.
+    """
+    if slots < 1:
+        raise TransportError(f"inference rings need >= 1 slot, got {slots}")
+    if layouts is None:
+        layouts = probe_boundary_layouts(stages, x_packet)
+    elif len(layouts) != len(stages):
+        raise TransportError(
+            f"got {len(layouts)} boundary layouts for {len(stages)} stages"
+        )
+    created: list[ShmRing] = []
+    try:
+        for s in range(len(stages)):
+            created.append(
+                ShmRing.create(
+                    f"infer[{s - 1 if s else 'inject'}->{s}]",
+                    layouts[s],
+                    slots,
+                )
+            )
+    except BaseException:
+        for ring in created:
+            ring.close()
+            ring.unlink()
+        raise
+    return created

@@ -1,0 +1,56 @@
+"""``repro.serve`` — pipelined online inference serving.
+
+The training side of this repo reproduces the paper's claim that a
+fine-grained pipeline keeps every stage busy *without* large batches;
+this package is the same claim applied to serving (the ROADMAP's
+"serve heavy traffic from millions of users" direction):
+
+* :mod:`~repro.serve.session` — :class:`InferenceSession`: trained
+  weights (from a live engine or a checkpoint file, optimizer state
+  stripped) frozen onto forward-only pipeline stages, runnable on any
+  of the three runtime backends (sim / threaded / process with
+  shared-memory rings);
+* :mod:`~repro.serve.batcher` — :class:`DynamicBatcher`: coalesces
+  individual requests into micro-batch packets under a ``max_wait``
+  deadline and ``max_batch`` cap, with a bounded admission queue and
+  explicit :class:`Overloaded` backpressure;
+* :mod:`~repro.serve.server` — :class:`PipelineServer`: submit/result
+  futures, dispatcher/collector threads around a persistent inference
+  stream, per-request latency tracking, and a stdlib-socket HTTP
+  endpoint (``POST /infer`` / ``GET /stats`` / ``GET /healthz``);
+* :mod:`~repro.serve.stats` — :class:`ServingStats`: p50/p95/p99
+  latency, queue wait vs pipeline time, drop-proof counters;
+* :mod:`~repro.serve.loadgen` — closed-loop load generator plus the
+  sequential single-request baseline the serving benchmark
+  (``benchmarks/bench_serving.py``) compares against.
+
+The engine-level forward-only machinery (schedules, streams, rings)
+lives in :mod:`repro.pipeline.inference` and
+:mod:`repro.pipeline.transport`.
+"""
+
+from repro.serve.batcher import DynamicBatcher, Overloaded, PendingRequest
+from repro.serve.loadgen import (
+    LoadGenResult,
+    SequentialServer,
+    count_bad_outputs,
+    run_closed_loop,
+)
+from repro.serve.server import PipelineServer
+from repro.serve.session import SERVE_BACKENDS, InferenceSession
+from repro.serve.stats import RequestTiming, ServingStats
+
+__all__ = [
+    "DynamicBatcher",
+    "Overloaded",
+    "PendingRequest",
+    "LoadGenResult",
+    "SequentialServer",
+    "count_bad_outputs",
+    "run_closed_loop",
+    "PipelineServer",
+    "SERVE_BACKENDS",
+    "InferenceSession",
+    "RequestTiming",
+    "ServingStats",
+]

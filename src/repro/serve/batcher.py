@@ -1,0 +1,166 @@
+"""Dynamic micro-batching with bounded admission and explicit backpressure.
+
+The paper's serving story is the training story transposed: a pipeline
+keeps every stage busy on *small* packets, so a server does not need to
+hoard requests into large batches to be efficient — but a little
+coalescing is still free throughput, because one vectorized ``(B, ...)``
+op amortizes per-op overhead across ``B`` requests.  The
+:class:`DynamicBatcher` makes exactly that trade, under two SLO knobs:
+
+``max_batch``
+    Cap on requests per packet (the pipeline's micro-batch width).  A
+    full batch dispatches immediately.
+``max_wait``
+    Deadline on the *oldest* queued request: when it has waited this
+    long, whatever is queued dispatches as a partial packet.  ``0``
+    means the batcher never waits on purpose — but requests that have
+    *already* queued up (e.g. while the pipeline was busy) still
+    coalesce up to ``max_batch``; packet width is therefore always
+    load-dependent, which matters to bit-level reproducibility because
+    BLAS rounding varies with packet width (see
+    :mod:`repro.pipeline.inference`).  For guaranteed single-request
+    packets use ``max_batch=1``.
+
+Admission is **bounded and loud**: at most ``max_queue`` requests may be
+pending, and a submit beyond that raises :class:`Overloaded` — the
+explicit-backpressure contract (reject, never grow without bound, never
+silently drop).  Request ids are monotone, assigned at admission, and
+every admitted request is dispatched exactly once (or failed loudly at
+close); the serving smoke test pins all three properties.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Overloaded(RuntimeError):
+    """The server's admission queue is full (or it is shutting down) —
+    the caller should back off and retry, exactly like an HTTP 429."""
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request travelling batcher -> pipeline -> future."""
+
+    request_id: int
+    x: np.ndarray
+    future: Future = field(default_factory=Future)
+    #: monotonic seconds at admission (queue-wait accounting starts here)
+    t_submit: float = 0.0
+    #: monotonic seconds when the batcher dispatched it into a packet
+    t_dispatch: float = 0.0
+
+
+class DynamicBatcher:
+    """Coalesce individual requests into micro-batch packets (module
+    docstring).  One producer side (``submit``, any thread) and one
+    consumer side (``next_batch``, the server's dispatcher thread)."""
+
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        max_queue: int = 64,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.max_queue = int(max_queue)
+        self._cond = threading.Condition()
+        self._queue: list[PendingRequest] = []
+        self._ids = itertools.count()
+        self._closed = False
+        self.rejected = 0
+        self.admitted = 0
+
+    # -- producer side ------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> PendingRequest:
+        """Admit one request; raises :class:`Overloaded` when the queue
+        is full or the batcher is closed."""
+        with self._cond:
+            if self._closed:
+                self.rejected += 1
+                raise Overloaded("server is shutting down")
+            if len(self._queue) >= self.max_queue:
+                self.rejected += 1
+                raise Overloaded(
+                    f"admission queue full ({self.max_queue} pending)"
+                )
+            req = PendingRequest(
+                request_id=next(self._ids),
+                x=np.asarray(x),
+                t_submit=time.monotonic(),
+            )
+            self._queue.append(req)
+            self.admitted += 1
+            self._cond.notify_all()
+            return req
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- consumer side ------------------------------------------------------
+
+    def next_batch(self, timeout: float = 0.1) -> list[PendingRequest]:
+        """Block until a packet is ready (full batch, or the oldest
+        request's ``max_wait`` deadline expired), then return it —
+        ``[]`` on timeout or when closed with nothing queued.
+
+        Dispatch order is FIFO: packets are consecutive admission-order
+        slices, so request ids inside and across packets are monotone.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                if self._queue:
+                    oldest_age = now - self._queue[0].t_submit
+                    if (
+                        len(self._queue) >= self.max_batch
+                        or oldest_age >= self.max_wait
+                        or self._closed
+                    ):
+                        batch = self._queue[: self.max_batch]
+                        del self._queue[: len(batch)]
+                        for req in batch:
+                            req.t_dispatch = now
+                        return batch
+                    # wake at whichever comes first: the oldest
+                    # request's deadline or the caller's timeout
+                    wait = min(
+                        self.max_wait - oldest_age, deadline - now
+                    )
+                else:
+                    if self._closed or now >= deadline:
+                        return []
+                    wait = deadline - now
+                if wait <= 0:
+                    # not ready and the caller's timeout has expired
+                    return []
+                self._cond.wait(wait)
+
+    def close(self) -> None:
+        """Stop admitting; wake the consumer so it can drain what's
+        left (queued requests still dispatch — closing never drops)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,261 @@
+"""Closed-loop load generation and the sequential-forward baseline.
+
+The serving benchmark's question is the paper's question at inference
+time: does pipelining + micro-batching beat one-request-at-a-time
+forward execution under real load?  The harness here answers it with a
+**closed-loop** generator: ``concurrency`` client threads, each holding
+exactly one request in flight — submit, wait for the logits, submit the
+next.  Offered load therefore adapts to the server (the classic
+closed-loop property), and sweeping ``concurrency`` sweeps offered load.
+
+Rejections (:class:`~repro.serve.batcher.Overloaded`) are counted and
+**retried after a backoff** — a closed-loop client never abandons its
+request, so a run completes exactly ``num_requests`` responses or fails
+loudly; silent drops are structurally impossible.
+
+The baseline (:class:`SequentialServer`) is the no-pipeline strawman the
+benchmark compares against: a lock around a single-request
+``model.forward``.  It is measured through the *same* closed-loop
+harness, so its p99 honestly includes the queueing delay sequential
+execution imposes on concurrent clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.batcher import Overloaded
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@dataclass
+class LoadGenResult:
+    """Outcome of one closed-loop run (seconds unless suffixed)."""
+
+    label: str
+    num_requests: int
+    concurrency: int
+    duration_s: float
+    throughput_rps: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    rejected_retries: int
+    #: request_id -> logits row, for response-correctness checks
+    outputs: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        return {
+            "label": self.label,
+            "requests": self.num_requests,
+            "concurrency": self.concurrency,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "p50_ms": round(self.latency_p50 * 1e3, 3),
+            "p95_ms": round(self.latency_p95 * 1e3, 3),
+            "p99_ms": round(self.latency_p99 * 1e3, 3),
+            "rejected_retries": self.rejected_retries,
+        }
+
+
+def count_bad_outputs(
+    outputs: dict,
+    reference: np.ndarray,
+    pool_size: int,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> int:
+    """Responses from a :class:`LoadGenResult` that disagree with the
+    offline reference: wrong argmax (prediction-level, zero tolerance)
+    or logits outside ``rtol/atol`` of ``reference[rid % pool_size]``.
+
+    Dynamic batch composition varies with timing while BLAS rounding
+    varies with GEMM width, so loadgen-level checks use this
+    tolerance-based form; the *bit-level* contract (same packets ->
+    same bits) is pinned separately in ``tests/test_serve_session.py``.
+    """
+    bad = 0
+    for rid, logits in outputs.items():
+        want = reference[rid % pool_size]
+        if np.argmax(logits) != np.argmax(want) or not np.allclose(
+            logits, want, rtol=rtol, atol=atol
+        ):
+            bad += 1
+    return bad
+
+
+class SequentialServer:
+    """The no-pipeline baseline: one request at a time through
+    ``model.forward`` (eval mode, no grad), serialized by a lock —
+    submit blocks until the logits are ready."""
+
+    def __init__(self, model):
+        from repro.pipeline.inference import modules_eval_mode
+
+        self.model = model
+        self._lock = threading.Lock()
+        self._eval_guard = modules_eval_mode([model])
+        self._eval_guard.__enter__()
+
+    def infer_one(self, x: np.ndarray) -> np.ndarray:
+        with self._lock:
+            with no_grad():
+                return self.model(Tensor(np.asarray(x)[None])).data[0]
+
+    def close(self) -> None:
+        if self._eval_guard is not None:
+            self._eval_guard.__exit__(None, None, None)
+            self._eval_guard = None
+
+
+def sequential_closed_loop(
+    model,
+    x_pool: np.ndarray,
+    num_requests: int,
+    concurrency: int,
+    label: str = "sequential",
+) -> "LoadGenResult":
+    """Closed-loop run against the :class:`SequentialServer` baseline
+    (construction, teardown and eval-mode restore handled here — the
+    shared harness of the serving experiment and benchmark)."""
+    seq = SequentialServer(model)
+    try:
+        return run_closed_loop(
+            seq.infer_one, x_pool, num_requests, concurrency=concurrency,
+            label=label,
+        )
+    finally:
+        seq.close()
+
+
+def pipelined_closed_loop(
+    session,
+    x_pool: np.ndarray,
+    num_requests: int,
+    concurrency: int,
+    max_batch: int,
+    max_wait: float,
+    max_queue: int | None = None,
+    label: str | None = None,
+) -> tuple["LoadGenResult", dict]:
+    """Closed-loop run against a :class:`~repro.serve.server.
+    PipelineServer` over ``session``; returns ``(result, stats
+    snapshot)``.  ``max_queue`` defaults to ``max(64, 4 * max_batch)``."""
+    from repro.serve.server import PipelineServer
+
+    server = PipelineServer(
+        session,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        max_queue=max(64, 4 * max_batch) if max_queue is None else max_queue,
+    )
+    with server:
+        result = run_closed_loop(
+            server.infer_one, x_pool, num_requests,
+            concurrency=concurrency,
+            label=label or f"pipelined[{session.runtime}]",
+        )
+        snapshot = server.stats.snapshot()
+    return result, snapshot
+
+
+def run_closed_loop(
+    submit_fn,
+    x_pool: np.ndarray,
+    num_requests: int,
+    concurrency: int = 4,
+    label: str = "run",
+    retry_backoff: float = 1e-4,
+    timeout: float = 120.0,
+) -> LoadGenResult:
+    """Drive ``num_requests`` requests through ``submit_fn`` with
+    ``concurrency`` closed-loop clients.
+
+    ``submit_fn(x) -> logits`` must block until the response is ready
+    (:meth:`PipelineServer.infer_one` or
+    :meth:`SequentialServer.infer_one`); an :class:`Overloaded` raise is
+    counted and retried after ``retry_backoff`` seconds.  Inputs are
+    drawn round-robin from ``x_pool`` by request id, so a run's request
+    -> input mapping is deterministic and the outputs dict can be
+    checked against an offline reference.
+    """
+    if num_requests < 1:
+        raise ValueError(f"num_requests must be >= 1, got {num_requests}")
+    concurrency = max(1, min(int(concurrency), num_requests))
+    counter = iter(range(num_requests))
+    counter_lock = threading.Lock()
+    latencies: list[float] = []
+    outputs: dict[int, np.ndarray] = {}
+    results_lock = threading.Lock()
+    rejected = [0]
+    errors: list[BaseException] = []
+    deadline = time.monotonic() + timeout
+
+    def client() -> None:
+        while True:
+            with counter_lock:
+                rid = next(counter, None)
+            if rid is None:
+                return
+            x = x_pool[rid % x_pool.shape[0]]
+            t0 = time.monotonic()
+            while True:
+                try:
+                    logits = submit_fn(x)
+                    break
+                except Overloaded:
+                    with results_lock:
+                        rejected[0] += 1
+                    if time.monotonic() >= deadline:
+                        errors.append(
+                            TimeoutError(
+                                f"request {rid} starved past {timeout}s of "
+                                "Overloaded retries"
+                            )
+                        )
+                        return
+                    time.sleep(retry_backoff)
+                except BaseException as exc:
+                    errors.append(exc)
+                    return
+            latency = time.monotonic() - t0
+            with results_lock:
+                latencies.append(latency)
+                outputs[rid] = np.asarray(logits)
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    t_start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    duration = time.monotonic() - t_start
+    if errors:
+        raise RuntimeError(
+            f"load generator hit {len(errors)} errors; first: {errors[0]!r}"
+        ) from errors[0]
+    if len(outputs) != num_requests:
+        raise RuntimeError(
+            f"load generator lost requests: {len(outputs)} responses for "
+            f"{num_requests} requests"
+        )
+    arr = np.asarray(latencies)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return LoadGenResult(
+        label=label,
+        num_requests=num_requests,
+        concurrency=concurrency,
+        duration_s=duration,
+        throughput_rps=num_requests / duration if duration > 0 else 0.0,
+        latency_p50=float(p50),
+        latency_p95=float(p95),
+        latency_p99=float(p99),
+        rejected_retries=rejected[0],
+        outputs=outputs,
+    )

@@ -1,0 +1,147 @@
+"""Per-request latency accounting for the serving front-end.
+
+Every completed request contributes three measured intervals:
+
+``queue_wait``
+    admission -> dispatch into a micro-batch packet (the batcher's
+    coalescing delay plus any backpressure stall);
+``pipeline_time``
+    dispatch -> logits out of the pipeline;
+``latency``
+    admission -> response (the end-to-end number an SLO is written
+    against; ``latency = queue_wait + pipeline_time`` up to clock
+    reads).
+
+:class:`ServingStats` aggregates them into the usual tail percentiles
+(p50/p95/p99) plus counters that make dropped work impossible to miss:
+``completed + rejected + failed`` must account for every admission
+attempt, and the serving smoke test asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _percentiles(values: list[float]) -> dict:
+    if not values:
+        return {"p50": None, "p95": None, "p99": None, "mean": None}
+    arr = np.asarray(values, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "mean": float(arr.mean()),
+    }
+
+
+@dataclass
+class RequestTiming:
+    """Measured intervals of one completed request (seconds)."""
+
+    request_id: int
+    queue_wait: float
+    pipeline_time: float
+    latency: float
+    batch_size: int = 1
+
+
+class ServingStats:
+    """Thread-safe accumulator of serving outcomes.
+
+    ``record`` is called by the server's collector thread per completed
+    request; ``snapshot`` renders percentiles and counters at any point
+    (cheap enough to serve from the ``/stats`` HTTP endpoint).
+
+    Counters (``completed``/``rejected``/``failed``) are cumulative for
+    the server's lifetime, but per-request timings are kept in a
+    **bounded sliding window** of the most recent ``window`` requests —
+    a long-lived server must not grow without bound, and recent-window
+    percentiles are what an SLO dashboard wants anyway.  The window size
+    is reported in every snapshot so truncation is never silent.
+    """
+
+    def __init__(self, window: int = 65536) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        from collections import deque
+
+        self._lock = threading.Lock()
+        self._timings: "deque[RequestTiming]" = deque(maxlen=int(window))
+        self.window = int(window)
+        self._completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self._t_first: float | None = None
+        self._t_last: float | None = None
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, timing: RequestTiming, t_now: float) -> None:
+        with self._lock:
+            self._timings.append(timing)
+            self._completed += 1
+            if self._t_first is None:
+                self._t_first = t_now - timing.latency
+            self._t_last = t_now
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    def timings(self) -> list[RequestTiming]:
+        """The retained sliding window, oldest first (the full history
+        only while fewer than ``window`` requests have completed)."""
+        with self._lock:
+            return list(self._timings)
+
+    def snapshot(self) -> dict:
+        """Percentiles + counters as one JSON-ready dict (seconds).
+        ``completed`` is cumulative; the percentile fields cover the
+        most recent ``min(completed, window)`` requests."""
+        with self._lock:
+            timings = list(self._timings)
+            completed = self._completed
+            rejected = self.rejected
+            failed = self.failed
+            span = (
+                (self._t_last - self._t_first)
+                if self._t_first is not None and self._t_last is not None
+                else 0.0
+            )
+        latency = _percentiles([t.latency for t in timings])
+        queue_wait = _percentiles([t.queue_wait for t in timings])
+        pipeline = _percentiles([t.pipeline_time for t in timings])
+        batch_sizes = [t.batch_size for t in timings]
+        return {
+            "completed": completed,
+            "window": self.window,
+            "window_filled": len(timings),
+            "rejected": rejected,
+            "failed": failed,
+            "latency_s": latency,
+            "queue_wait_s": queue_wait,
+            "pipeline_s": pipeline,
+            "mean_batch_size": (
+                float(np.mean(batch_sizes)) if batch_sizes else None
+            ),
+            "span_s": span,
+            "throughput_rps": (
+                completed / span if span > 0 else None
+            ),
+        }

@@ -232,6 +232,26 @@ class TestRestoreValidation:
         with pytest.raises(ValueError, match="schedule"):
             restore_checkpoint(capture_checkpoint(e1), engine=e2)
 
+    def test_schedule_mismatch_names_both_schedules(self, tmp_path):
+        """The refusal message must name the on-disk schedule *and* the
+        session's, with their knobs — a mis-paired checkpoint should be
+        diagnosable from the error alone."""
+        X, Y = _stream(8)
+        _, e1 = _train_engine("sim", SCHEDULES["gpipe"], X, Y)
+        path = str(tmp_path / "gpipe.ckpt")
+        save_checkpoint(path, capture_checkpoint(e1))
+        m2 = FACTORY()
+        e2 = ENGINES["sim"](m2, dict(SCHEDULES["pb"]))
+        with pytest.raises(ValueError) as err:
+            restore_checkpoint(load_checkpoint(path), engine=e2)
+        message = str(err.value)
+        assert "'gpipe'" in message  # the checkpoint's schedule
+        assert "'pb'" in message  # the engine's schedule
+        # and the identity knobs of each, so gpipe-vs-gpipe cadence
+        # mismatches are equally diagnosable
+        assert "update_size=4" in message and "micro_batch=2" in message
+        assert "update_size=1" in message and "micro_batch=1" in message
+
     def test_shape_mismatch_keeps_engine_untouched(self):
         """Cross-stage atomicity: a bad payload in stage k leaves stages
         < k unmodified (validate-all-then-load-all)."""

@@ -170,7 +170,7 @@ class TestExperimentRegistry:
             "table1", "table2", "table3", "table4", "table6",
             "ablation_bn_vs_gn", "ablation_warmup",
             "ablation_gradient_shrinking", "schedule_comparison",
-            "runtime_comparison", "durable_training",
+            "runtime_comparison", "durable_training", "serving",
         }
         assert set(EXPERIMENTS) == expected
         for exp_id, (fn, desc) in EXPERIMENTS.items():

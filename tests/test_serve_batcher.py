@@ -1,0 +1,175 @@
+"""Dynamic micro-batcher + serving stats: coalescing, deadlines,
+bounded admission, explicit backpressure, monotone ids."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import DynamicBatcher, Overloaded
+from repro.serve.stats import RequestTiming, ServingStats
+
+
+def _x(i: int) -> np.ndarray:
+    return np.full((2,), float(i))
+
+
+class TestCoalescing:
+    def test_full_batch_dispatches_immediately(self):
+        b = DynamicBatcher(max_batch=4, max_wait=60.0, max_queue=64)
+        for i in range(4):
+            b.submit(_x(i))
+        t0 = time.monotonic()
+        batch = b.next_batch(timeout=5.0)
+        assert time.monotonic() - t0 < 1.0  # did not wait for max_wait
+        assert [r.request_id for r in batch] == [0, 1, 2, 3]
+
+    def test_deadline_flushes_partial_batch(self):
+        b = DynamicBatcher(max_batch=8, max_wait=0.01, max_queue=64)
+        b.submit(_x(0))
+        b.submit(_x(1))
+        batch = b.next_batch(timeout=5.0)
+        assert len(batch) == 2  # partial, released by the deadline
+
+    def test_zero_wait_means_no_coalescing_delay(self):
+        b = DynamicBatcher(max_batch=8, max_wait=0.0, max_queue=64)
+        b.submit(_x(0))
+        batch = b.next_batch(timeout=1.0)
+        assert len(batch) == 1
+
+    def test_oversize_queue_split_into_batches(self):
+        b = DynamicBatcher(max_batch=3, max_wait=0.0, max_queue=64)
+        for i in range(7):
+            b.submit(_x(i))
+        sizes = []
+        ids = []
+        while True:
+            batch = b.next_batch(timeout=0.05)
+            if not batch:
+                break
+            sizes.append(len(batch))
+            ids.extend(r.request_id for r in batch)
+        assert sizes == [3, 3, 1]
+        assert ids == sorted(ids)  # FIFO slices => monotone ids
+
+    def test_timeout_returns_empty(self):
+        b = DynamicBatcher(max_batch=4, max_wait=0.0, max_queue=4)
+        t0 = time.monotonic()
+        assert b.next_batch(timeout=0.05) == []
+        assert time.monotonic() - t0 < 1.0
+
+
+class TestBackpressure:
+    def test_overloaded_at_max_queue(self):
+        b = DynamicBatcher(max_batch=4, max_wait=60.0, max_queue=3)
+        for i in range(3):
+            b.submit(_x(i))
+        with pytest.raises(Overloaded, match="full"):
+            b.submit(_x(99))
+        assert b.rejected == 1
+        assert b.admitted == 3
+
+    def test_queue_reopens_after_drain(self):
+        b = DynamicBatcher(max_batch=2, max_wait=0.0, max_queue=2)
+        b.submit(_x(0))
+        b.submit(_x(1))
+        with pytest.raises(Overloaded):
+            b.submit(_x(2))
+        assert len(b.next_batch(timeout=0.1)) == 2
+        b.submit(_x(3))  # admitted again — backpressure, not a latch
+        assert b.pending == 1
+
+    def test_closed_rejects_submits_but_drains_queue(self):
+        b = DynamicBatcher(max_batch=4, max_wait=60.0, max_queue=8)
+        b.submit(_x(0))
+        b.close()
+        with pytest.raises(Overloaded, match="shutting down"):
+            b.submit(_x(1))
+        # close() never drops: the queued request still dispatches
+        batch = b.next_batch(timeout=0.5)
+        assert [r.request_id for r in batch] == [0]
+        assert b.next_batch(timeout=0.0) == []
+
+    def test_ids_monotone_across_threads(self):
+        b = DynamicBatcher(max_batch=4, max_wait=0.0, max_queue=1000)
+        seen = []
+        lock = threading.Lock()
+
+        def submit_some():
+            for _ in range(50):
+                req = b.submit(_x(0))
+                with lock:
+                    seen.append(req.request_id)
+
+        threads = [threading.Thread(target=submit_some) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == list(range(200))  # unique, gap-free
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_wait=-1)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_queue=0)
+
+
+class TestServingStats:
+    def _timing(self, rid: int, latency: float) -> RequestTiming:
+        return RequestTiming(
+            request_id=rid,
+            queue_wait=latency / 4,
+            pipeline_time=3 * latency / 4,
+            latency=latency,
+            batch_size=2,
+        )
+
+    def test_percentiles(self):
+        stats = ServingStats()
+        now = time.monotonic()
+        for i, lat in enumerate([0.01] * 98 + [0.5, 1.0]):
+            stats.record(self._timing(i, lat), now + i * 1e-3)
+        snap = stats.snapshot()
+        assert snap["completed"] == 100
+        assert snap["latency_s"]["p50"] == pytest.approx(0.01)
+        assert snap["latency_s"]["p99"] >= 0.5
+        assert snap["queue_wait_s"]["p50"] == pytest.approx(0.0025)
+        assert snap["mean_batch_size"] == 2.0
+        assert snap["throughput_rps"] is not None
+
+    def test_empty_snapshot(self):
+        snap = ServingStats().snapshot()
+        assert snap["completed"] == 0
+        assert snap["latency_s"]["p99"] is None
+        assert snap["throughput_rps"] is None
+
+    def test_counters(self):
+        stats = ServingStats()
+        stats.record_rejected()
+        stats.record_rejected()
+        stats.record_failed()
+        snap = stats.snapshot()
+        assert snap["rejected"] == 2
+        assert snap["failed"] == 1
+
+    def test_timings_window_is_bounded(self):
+        """A long-lived server keeps cumulative counters but only a
+        sliding window of per-request timings — memory stays bounded
+        and the truncation is visible in the snapshot."""
+        stats = ServingStats(window=10)
+        now = time.monotonic()
+        for i in range(25):
+            stats.record(self._timing(i, 0.01 * (i + 1)), now + i)
+        snap = stats.snapshot()
+        assert snap["completed"] == 25  # cumulative, not truncated
+        assert snap["window"] == 10 and snap["window_filled"] == 10
+        retained = [t.request_id for t in stats.timings()]
+        assert retained == list(range(15, 25))  # most recent only
+        # percentiles cover the window, not the evicted history
+        assert snap["latency_s"]["p50"] == pytest.approx(0.205)

@@ -1,0 +1,257 @@
+"""The serving front-end end to end: futures, batching determinism,
+explicit overload behavior, the HTTP endpoint, and the ``serve``-marked
+smoke (tiny model, process runtime, 200 requests, zero dropped or
+duplicated responses, monotone request ids)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.models.simple import small_cnn
+from repro.serve import (
+    InferenceSession,
+    Overloaded,
+    PipelineServer,
+    run_closed_loop,
+)
+
+FACTORY = partial(small_cnn, num_classes=10, widths=(8, 16), seed=11)
+SHAPE = (3, 8, 8)
+
+
+def _requests(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n,) + SHAPE)
+
+
+def _session(runtime: str = "threaded", micro_batch: int = 4, **kw):
+    return InferenceSession(
+        FACTORY(),
+        runtime=runtime,
+        micro_batch=micro_batch,
+        sample_shape=SHAPE,
+        model_factory=FACTORY,
+        **kw,
+    )
+
+
+def _hex(a: np.ndarray) -> list[str]:
+    return [v.hex() for v in np.asarray(a, dtype=np.float64).ravel()]
+
+
+@pytest.mark.concurrency
+class TestServerBasics:
+    def test_submit_resolves_future_with_logits(self):
+        with PipelineServer(_session()) as server:
+            X = _requests(1)
+            logits = server.submit(X[0]).result(10.0)
+            assert logits.shape == (10,)
+
+    def test_prestaged_requests_batch_deterministically(self):
+        """Requests admitted before start() coalesce into consecutive
+        admission-order packets of max_batch — and the per-request
+        logits are then bit-exact with the offline forward over those
+        same packets (the serving parity contract, end to end)."""
+        session = _session(runtime="threaded", micro_batch=4)
+        server = PipelineServer(session, max_batch=4, max_wait=0.5)
+        X = _requests(12)
+        futures = [server.submit(x) for x in X]  # before start: FIFO
+        with server:
+            got = np.stack([f.result(20.0) for f in futures])
+        ref = session.forward_reference(X, micro_batch=4)
+        assert _hex(got) == _hex(ref)
+        sizes = [t.batch_size for t in server.stats.timings()]
+        assert sizes == [4] * 12  # three full packets
+
+    def test_request_shape_validated(self):
+        with PipelineServer(_session()) as server:
+            with pytest.raises(ValueError, match="shape"):
+                server.submit(np.zeros((2, 2)))
+
+    def test_stats_account_for_every_request(self):
+        with PipelineServer(_session(), max_wait=0.001) as server:
+            futures = [server.submit(x) for x in _requests(20)]
+            for f in futures:
+                f.result(20.0)
+            snap = server.stats.snapshot()
+        assert snap["completed"] == 20
+        assert snap["rejected"] == 0 and snap["failed"] == 0
+        # queue wait + pipeline time ~ latency for every request
+        for t in server.stats.timings():
+            assert t.latency >= t.queue_wait >= 0.0
+            assert t.latency >= t.pipeline_time >= 0.0
+
+    def test_failed_start_fails_prestaged_futures(self):
+        """Requests staged before a start() that dies must not hang:
+        their futures fail with the start error."""
+        session = _session()
+        server = PipelineServer(session)
+        fut = server.submit(_requests(1)[0])
+        boom = RuntimeError("no stream for you")
+
+        def broken_open_stream():
+            raise boom
+
+        session.open_stream = broken_open_stream
+        with pytest.raises(RuntimeError, match="no stream"):
+            server.start()
+        with pytest.raises(RuntimeError, match="no stream"):
+            fut.result(1.0)
+        server.stop()  # idempotent on the never-started path
+
+    def test_stop_without_start_fails_staged_futures(self):
+        server = PipelineServer(_session())
+        fut = server.submit(_requests(1)[0])
+        server.stop()
+        with pytest.raises(Overloaded):
+            fut.result(1.0)
+
+    def test_server_is_single_use(self):
+        """stop() closes the batcher for good; a restart would be a
+        server that can never admit — refuse it loudly instead."""
+        server = PipelineServer(_session())
+        with server:
+            server.submit(_requests(1)[0]).result(10.0)
+        with pytest.raises(RuntimeError, match="single-use"):
+            server.start()
+
+    def test_max_batch_cannot_exceed_session_width(self):
+        with pytest.raises(ValueError, match="micro_batch"):
+            PipelineServer(_session(micro_batch=4), max_batch=8)
+
+    def test_stop_fails_leftover_futures_loudly(self):
+        session = _session()
+        server = PipelineServer(session, max_wait=60.0, max_batch=4)
+        # never started: admitted requests cannot complete.  The
+        # request is younger than max_wait (60 s), so _fail_pending
+        # must close the batcher itself to be able to drain it —
+        # otherwise this future would hang until max_wait.
+        fut = server.submit(_requests(1)[0])
+        server._fail_pending(Overloaded("server stopped"))
+        with pytest.raises(Overloaded):
+            fut.result(1.0)
+        assert server.stats.snapshot()["failed"] == 1
+
+
+@pytest.mark.concurrency
+class TestOverload:
+    def test_saturation_is_explicit_backpressure_not_deadlock(self):
+        """Flood a tiny admission queue: every submit either resolves
+        or raises Overloaded — nothing hangs, nothing disappears."""
+        session = _session(runtime="threaded", micro_batch=2, capacity=2)
+        server = PipelineServer(
+            session, max_batch=2, max_wait=0.0, max_queue=4
+        )
+        accepted, rejected = [], [0]
+        with server:
+            for x in _requests(200, seed=3):
+                try:
+                    accepted.append(server.submit(x))
+                except Overloaded:
+                    rejected[0] += 1
+            results = [f.result(30.0) for f in accepted]
+        assert len(results) == len(accepted)
+        assert len(accepted) + rejected[0] == 200
+        snap = server.stats.snapshot()
+        assert snap["completed"] == len(accepted)
+        assert snap["rejected"] == rejected[0]
+
+    def test_closed_loop_clients_retry_through_backpressure(self):
+        session = _session(runtime="threaded", micro_batch=4, capacity=2)
+        server = PipelineServer(
+            session, max_batch=4, max_wait=0.001, max_queue=8
+        )
+        with server:
+            result = run_closed_loop(
+                server.infer_one, _requests(8), num_requests=60,
+                concurrency=6, label="retry",
+            )
+        assert len(result.outputs) == 60  # zero dropped despite rejections
+
+
+@pytest.mark.concurrency
+class TestHttpEndpoint:
+    def test_infer_stats_healthz(self):
+        session = _session()
+        with PipelineServer(session) as server:
+            host, port = server.serve_http()
+            x = _requests(1)[0]
+            body = json.dumps({"x": x.tolist()}).encode()
+            req = urllib.request.Request(
+                f"http://{host}:{port}/infer",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                payload = json.loads(resp.read())
+            assert len(payload["logits"]) == 10
+            assert payload["latency_ms"] > 0
+            assert isinstance(payload["request_id"], int)
+            # the response is the same math the session computes
+            ref = session.infer(x[None]).outputs[0]
+            assert np.allclose(payload["logits"], ref)
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/stats", timeout=10
+            ) as resp:
+                stats = json.loads(resp.read())
+            assert stats["completed"] >= 1
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=10
+            ) as resp:
+                health = json.loads(resp.read())
+            assert health["ok"] is True
+            assert health["fingerprint"] == session.fingerprint
+
+    def test_bad_body_is_400_unknown_path_404(self):
+        with PipelineServer(_session()) as server:
+            host, port = server.serve_http()
+            req = urllib.request.Request(
+                f"http://{host}:{port}/infer", data=b"not json"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 400
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/nope", timeout=10
+                )
+            assert err.value.code == 404
+
+
+@pytest.mark.serve
+@pytest.mark.concurrency(timeout=300)
+class TestServingSmoke:
+    """The CI serving smoke: tiny model, process runtime, 200 requests."""
+
+    def test_200_requests_process_runtime_none_lost(self):
+        session = _session(runtime="process", micro_batch=8)
+        server = PipelineServer(
+            session, max_batch=8, max_wait=0.002, max_queue=64
+        )
+        X = _requests(32, seed=9)
+        with server:
+            result = run_closed_loop(
+                server.infer_one, X, num_requests=200, concurrency=8,
+                label="smoke",
+            )
+            snap = server.stats.snapshot()
+        # zero dropped: exactly one response per request
+        assert len(result.outputs) == 200
+        assert sorted(result.outputs) == list(range(200))
+        # zero duplicated + monotone ids: the batcher assigned each
+        # admitted request exactly one gap-free, increasing id
+        ids = sorted(t.request_id for t in server.stats.timings())
+        assert ids == list(range(snap["completed"]))
+        assert snap["completed"] == server.batcher.admitted
+        assert snap["failed"] == 0
+        # every response is the right math for its input
+        ref = session.forward_reference(X, micro_batch=8)
+        full = np.stack([ref[rid % 32] for rid in range(200)])
+        got = np.stack([result.outputs[rid] for rid in range(200)])
+        assert np.allclose(got, full, rtol=1e-9, atol=1e-12)

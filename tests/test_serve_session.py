@@ -1,0 +1,281 @@
+"""Inference sessions + forward-only pipeline: the serving parity contract.
+
+The acceptance bar of ``repro.serve``: for any request set, serving
+outputs are **bit-exact** with the offline batched forward on the same
+weights, for all three runtimes.  Because BLAS kernels round
+differently for different GEMM widths, the offline reference is the
+batched forward over the *same micro-batch packets* the pipeline
+executes (``InferenceSession.forward_reference``); these tests pin that
+equality at hex level per backend, pin the backends against each
+other, and cover the forward-only schedule's guards, the inference-only
+checkpoint restore, and the engine-level ``infer()`` surface.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.models.simple import small_cnn
+from repro.pipeline import (
+    ConcurrentPipelineRunner,
+    InferenceSchedule,
+    PipelineExecutor,
+    ProcessPipelineRunner,
+    make_schedule,
+)
+from repro.pipeline.checkpoint import (
+    capture_checkpoint,
+    model_fingerprint,
+    save_checkpoint,
+)
+from repro.serve import InferenceSession
+
+FACTORY = partial(small_cnn, num_classes=10, widths=(8, 16), seed=11)
+SHAPE = (3, 8, 8)
+
+
+def _requests(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n,) + SHAPE)
+
+
+def _hex(a: np.ndarray) -> list[str]:
+    return [v.hex() for v in np.asarray(a, dtype=np.float64).ravel()]
+
+
+def _trained_model():
+    model = FACTORY()
+    X = _requests(24, seed=5)
+    Y = np.random.default_rng(6).integers(0, 10, size=24)
+    PipelineExecutor(model, lr=0.02, momentum=0.9, mode="pb").train(X, Y)
+    return model
+
+
+@pytest.mark.concurrency
+class TestServingParity:
+    """Bit-exactness across backends and against the offline reference."""
+
+    @pytest.mark.parametrize("runtime", ["sim", "threaded", "process"])
+    @pytest.mark.parametrize("micro", [1, 3, 8])
+    def test_backend_matches_offline_reference(self, runtime, micro):
+        model = _trained_model()
+        session = InferenceSession(
+            model, runtime=runtime, micro_batch=micro,
+            sample_shape=SHAPE, model_factory=FACTORY,
+        )
+        X = _requests(19)  # deliberately not a multiple of micro
+        ref = session.forward_reference(X, micro_batch=micro)
+        stats = session.infer(X)
+        assert stats.samples == 19
+        assert stats.backend == runtime
+        assert _hex(stats.outputs) == _hex(ref)
+        # per-stage counters are real measurements on every backend
+        # (the process stream only learns them at teardown — regression
+        # pin against returning fabricated zeros)
+        packets = -(-19 // micro)
+        for c in stats.stage_counters[:-1]:
+            assert c.forward_ops == packets
+            assert c.forward_samples == 19
+
+    def test_all_backends_agree_bitwise(self):
+        model = _trained_model()
+        X = _requests(13)
+        outs = {}
+        for runtime in ("sim", "threaded", "process"):
+            session = InferenceSession(
+                model, runtime=runtime, micro_batch=4,
+                sample_shape=SHAPE, model_factory=FACTORY,
+            )
+            outs[runtime] = session.infer(X).outputs
+        assert _hex(outs["sim"]) == _hex(outs["threaded"])
+        assert _hex(outs["sim"]) == _hex(outs["process"])
+
+    def test_serving_leaves_weights_untouched(self):
+        model = _trained_model()
+        before = model_fingerprint(model)
+        session = InferenceSession(
+            model, runtime="threaded", micro_batch=4, sample_shape=SHAPE
+        )
+        session.infer(_requests(16))
+        assert model_fingerprint(model) == before
+
+    def test_infer_is_repeatable(self):
+        """No hidden state: the same batch twice is bit-identical."""
+        model = _trained_model()
+        session = InferenceSession(
+            model, runtime="sim", micro_batch=4, sample_shape=SHAPE
+        )
+        X = _requests(10)
+        assert _hex(session.infer(X).outputs) == _hex(
+            session.infer(X).outputs
+        )
+
+    def test_infer_restores_training_mode(self):
+        model = _trained_model()
+        model.train(True)
+        session = InferenceSession(
+            model, runtime="sim", micro_batch=4, sample_shape=SHAPE
+        )
+        session.infer(_requests(4))
+        assert model.training is True
+
+    def test_failed_stream_open_restores_training_mode(self):
+        """A stream constructor that dies mid-setup (here: a probe pass
+        over a wrong sample shape) must not leak eval mode onto a model
+        that is still being trained."""
+        model = _trained_model()
+        model.train(True)
+        session = InferenceSession(
+            model, runtime="process", micro_batch=4,
+            sample_shape=(5, 5), model_factory=FACTORY,
+        )
+        with pytest.raises(Exception):
+            session.open_stream()
+        assert model.training is True
+
+
+@pytest.mark.concurrency
+class TestEngineInfer:
+    """The engine-level infer() surface: all three runtimes drive the
+    InferenceSchedule through the unchanged Schedule protocol."""
+
+    def test_engines_match_bitwise(self):
+        X = _requests(17)
+        m1 = _trained_model()
+        ex = PipelineExecutor(m1, lr=0.01)
+        ref = ex.infer(X, micro_batch_size=4).outputs
+        state = [p.data.copy() for p in m1.parameters()]
+
+        m2 = FACTORY()
+        for p, w in zip(m2.parameters(), state):
+            p.data = w.copy()
+        thr = ConcurrentPipelineRunner(m2, lr=0.01)
+        assert _hex(thr.infer(X, micro_batch_size=4).outputs) == _hex(ref)
+
+        m3 = FACTORY()
+        for p, w in zip(m3.parameters(), state):
+            p.data = w.copy()
+        proc = ProcessPipelineRunner(m3, lr=0.01, model_factory=FACTORY)
+        assert _hex(proc.infer(X, micro_batch_size=4).outputs) == _hex(ref)
+
+    def test_train_between_infers(self):
+        """Serving sees the engine's latest drained weights."""
+        model = FACTORY()
+        ex = PipelineExecutor(model, lr=0.02, momentum=0.9, mode="pb")
+        X = _requests(12, seed=1)
+        Y = np.random.default_rng(2).integers(0, 10, size=12)
+        out_before = ex.infer(X, micro_batch_size=4).outputs
+        ex.train(X, Y)
+        out_after = ex.infer(X, micro_batch_size=4).outputs
+        assert _hex(out_before) != _hex(out_after)
+        session = InferenceSession.from_engine(
+            ex, runtime="sim", micro_batch=4, sample_shape=SHAPE
+        )
+        assert _hex(session.infer(X).outputs) == _hex(out_after)
+
+    def test_empty_batch(self):
+        ex = PipelineExecutor(FACTORY(), lr=0.01)
+        stats = ex.infer(np.zeros((0,) + SHAPE), micro_batch_size=4)
+        assert stats.samples == 0 and stats.time_steps == 0
+
+
+class TestScheduleGuards:
+    def test_train_refuses_forward_only_schedule(self):
+        for engine_cls, kwargs in (
+            (PipelineExecutor, {}),
+            (ConcurrentPipelineRunner, {}),
+            (ProcessPipelineRunner, {"model_factory": FACTORY}),
+        ):
+            engine = engine_cls(
+                FACTORY(), lr=0.01, schedule=InferenceSchedule(4), **kwargs
+            )
+            with pytest.raises(ValueError, match="forward-only"):
+                engine.train(_requests(4), np.zeros(4, dtype=np.int64))
+
+    def test_infer_refuses_training_schedule(self):
+        ex = PipelineExecutor(FACTORY(), lr=0.01)
+        with pytest.raises(ValueError, match="forward-only"):
+            ex.infer(_requests(4), schedule=make_schedule("pb"))
+
+    def test_inference_schedule_has_no_backward(self):
+        with pytest.raises(RuntimeError, match="no backward"):
+            InferenceSchedule(2).update_after_backward(0)
+
+    def test_make_schedule_builds_infer(self):
+        sched = make_schedule("infer", micro_batch_size=3)
+        assert sched.forward_only and sched.micro_batch == 3
+
+    def test_drain_span_forward_only(self):
+        # P packets over S stages: P + S - 1 steps (half the training
+        # fill cost — there is no backward return trip)
+        sched = InferenceSchedule(4)
+        assert sched.drain_span(8, 5) == 2 + 5 - 1
+        assert sched.drain_span(9, 5) == 3 + 5 - 1
+        assert sched.drain_span(0, 5) == 0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError, match="micro_batch"):
+            InferenceSchedule(0)
+
+
+class TestCheckpointServing:
+    """from_checkpoint: optimizer state stripped, schedule tag ignored."""
+
+    def _checkpoint(self, tmp_path, mode="pb", **sched_kw) -> tuple:
+        model = FACTORY()
+        engine = PipelineExecutor(
+            model, lr=0.02, momentum=0.9, mode=mode, **sched_kw
+        )
+        X = _requests(16, seed=5)
+        Y = np.random.default_rng(6).integers(0, 10, size=16)
+        engine.train(X, Y)
+        path = str(tmp_path / "train.ckpt")
+        save_checkpoint(path, capture_checkpoint(engine))
+        return model, path
+
+    def test_checkpoint_session_matches_live_session(self, tmp_path):
+        model, path = self._checkpoint(tmp_path)
+        live = InferenceSession(
+            model, runtime="sim", micro_batch=4, sample_shape=SHAPE
+        )
+        restored = InferenceSession.from_checkpoint(
+            path, FACTORY, runtime="sim", micro_batch=4, sample_shape=SHAPE
+        )
+        assert restored.fingerprint == live.fingerprint
+        X = _requests(10)
+        assert _hex(restored.infer(X).outputs) == _hex(live.infer(X).outputs)
+
+    def test_schedule_tag_is_ignored_for_serving(self, tmp_path):
+        """A gpipe-trained checkpoint serves fine — the schedule that
+        produced the weights is irrelevant to forward-only serving."""
+        model, path = self._checkpoint(
+            tmp_path, mode="gpipe", update_size=8, micro_batch_size=4
+        )
+        restored = InferenceSession.from_checkpoint(
+            path, FACTORY, runtime="sim", micro_batch=4, sample_shape=SHAPE
+        )
+        assert restored.fingerprint == model_fingerprint(model)
+
+    def test_mismatched_model_refused_atomically(self, tmp_path):
+        from repro.pipeline.checkpoint import (
+            CheckpointError,
+            restore_inference_weights,
+        )
+
+        _, path = self._checkpoint(tmp_path)
+        other = small_cnn(num_classes=10, widths=(4, 4), seed=11)
+        before = model_fingerprint(other)
+        with pytest.raises(CheckpointError, match="shape"):
+            restore_inference_weights(path, other)
+        assert model_fingerprint(other) == before  # untouched
+
+    def test_payload_without_engine_state_refused(self):
+        from repro.pipeline.checkpoint import (
+            CheckpointError,
+            restore_inference_weights,
+        )
+
+        with pytest.raises(CheckpointError, match="engine"):
+            restore_inference_weights({"metadata": {}}, FACTORY())

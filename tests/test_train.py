@@ -36,6 +36,56 @@ class TestMetrics:
             accuracy(logits.data, tiny_dataset.y_val), abs=1e-12
         )
 
+    def test_evaluate_bit_exact_with_pre_vectorization_loop(
+        self, tiny_dataset
+    ):
+        """The vectorized evaluate() (fused NumPy loss pass per batch)
+        reproduces the historical Tensor-cross_entropy loop hex for hex
+        at every chunking — the refactor changed zero bits."""
+        from repro.tensor import Tensor, cross_entropy, no_grad
+
+        def old_evaluate(model, x, y, batch_size):
+            was_training = model.training
+            n = x.shape[0]
+            model.eval()
+            losses = []
+            correct = 0
+            with no_grad():
+                for start in range(0, n, batch_size):
+                    xb = x[start : start + batch_size]
+                    yb = y[start : start + batch_size]
+                    logits = model(Tensor(xb))
+                    losses.append(
+                        float(cross_entropy(logits, yb).data) * len(yb)
+                    )
+                    correct += int((logits.data.argmax(axis=1) == yb).sum())
+            model.train(was_training)
+            return float(np.sum(losses) / n), correct / n
+
+        m = small_cnn(num_classes=4, seed=0)
+        x, y = tiny_dataset.x_val, tiny_dataset.y_val
+        for bs in (1, 7, 64, x.shape[0]):
+            new_loss, new_acc = evaluate(m, x, y, batch_size=bs)
+            old_loss, old_acc = old_evaluate(m, x, y, batch_size=bs)
+            assert new_loss.hex() == old_loss.hex()
+            assert new_acc == old_acc
+
+    def test_evaluate_rejects_nonpositive_batch_size(self, tiny_dataset):
+        m = small_cnn(num_classes=4, seed=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            evaluate(m, tiny_dataset.x_val, tiny_dataset.y_val,
+                     batch_size=0)
+
+    def test_batch_nll_matches_tensor_cross_entropy(self, rng):
+        from repro.tensor import cross_entropy
+        from repro.train.metrics import batch_nll
+
+        logits = rng.normal(size=(17, 5))
+        labels = rng.integers(0, 5, size=17)
+        nll = batch_nll(logits, labels)
+        ref = float(cross_entropy(logits, labels).data)
+        assert float(nll.mean()).hex() == ref.hex()
+
     def test_evaluate_empty_split_returns_nan_nan(self):
         """Regression: an empty split used to ZeroDivisionError on
         ``np.sum(losses) / n``; the no-data answer is (nan, nan)."""

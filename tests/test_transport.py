@@ -286,3 +286,109 @@ class TestRingSizing:
             for r in fwd + [b for b in bwd if b is not None]:
                 r.close()
                 r.unlink()
+
+
+class TestForwardOnlyStreaming:
+    """Ring wraparound under sustained forward-only (serving) traffic:
+    the tail chases the head across many full ring cycles, and FIFO
+    slot-release ordering is preserved throughout."""
+
+    def test_tail_chases_head_across_three_cycles(self, ring):
+        """Stream 4x the ring's capacity packet-by-packet: every payload
+        survives its trip through a reused slot, head/tail wrap in
+        lockstep, and each slot's memory is visited once per cycle."""
+        cycles = 4
+        total = ring.slots * cycles  # 12 packets through 3 slots
+        slot_addresses = []
+        for i in range(total):
+            p = [np.full((4, 3), float(i)), np.full((4,), float(i))]
+            assert ring.try_send(i, i, 4, p)
+            pid, start, size, views = ring.recv(1.0)
+            assert (pid, start, size) == (i, i, 4)
+            assert np.array_equal(views[0], p[0])
+            assert np.array_equal(views[1], p[1])
+            slot_addresses.append(views[0].__array_interface__["data"][0])
+            ring.release()
+            assert ring.outstanding == 0
+        # the tail fully chased the head through `cycles` wraparounds
+        assert int(ring._head[0]) == total
+        assert int(ring._tail[0]) == total
+        # slot memory is reused in strict rotation: the address pattern
+        # repeats with period `slots` across all cycles
+        period = slot_addresses[: ring.slots]
+        assert len(set(period)) == ring.slots
+        assert slot_addresses == period * cycles
+
+    def test_pipelined_wraparound_with_lagging_release(self, ring):
+        """Keep the ring nearly full (consumer holds one slot while the
+        producer refills) for >= 3 full cycles: deferred FIFO release
+        ordering holds and no payload is torn by the slot reuse."""
+        depth = ring.slots - 1  # consumer always holds `depth` slots
+        inflight = []
+        sent = 0
+        received = []
+        total = ring.slots * 3 + depth
+        while len(received) < total:
+            while sent < total and ring.try_send(
+                sent, sent, 4, [np.full((4, 3), float(sent)),
+                                np.full((4,), float(sent))]
+            ):
+                sent += 1
+            pkt = ring.try_recv()
+            if pkt is not None:
+                inflight.append(pkt)
+            if inflight and (len(inflight) >= depth or pkt is None):
+                pid, start, size, views = inflight.pop(0)
+                # the oldest held views are still intact: the producer
+                # could not have reused an unreleased slot
+                assert np.array_equal(views[0], np.full((4, 3), float(pid)))
+                received.append(pid)
+                ring.release()  # strict FIFO: oldest slot freed first
+        assert received == list(range(total))
+        assert int(ring._head[0]) >= 3 * ring.slots
+
+    def test_release_order_is_fifo_not_lifo(self, ring):
+        """release() frees the *oldest* outstanding slot: consuming two
+        packets and releasing once must keep the second packet's slot
+        alive (its payload stays intact when the producer refills)."""
+        for i in range(2):
+            ring.send(i, i, 4, _payload(i), timeout=1.0)
+        first = ring.try_recv()
+        second = ring.try_recv()
+        ring.release()  # frees packet 0's slot only
+        assert ring.outstanding == 1
+        # the freed slot (and the never-used third slot) can be
+        # refilled; packet 1's slot must survive untouched
+        ring.send(10, 10, 4, _payload(10), timeout=1.0)
+        ring.send(11, 11, 4, _payload(11), timeout=1.0)
+        assert not ring.try_send(12, 12, 4, _payload(12))  # 1 still held
+        assert np.array_equal(second[3][0], _payload(1)[0])
+        assert first is not None
+
+    def test_build_inference_rings_topology(self):
+        from repro.pipeline.transport import build_inference_rings
+
+        model = small_cnn(num_classes=4, widths=(4,), seed=0)
+        ex = PipelineExecutor(model, lr=0.01, mode="pb")
+        S = model.num_stages
+        rings = build_inference_rings(
+            ex.stages, np.zeros((2, 3, 8, 8)), slots=5
+        )
+        try:
+            # one forward ring per stage, no backward rings at all; the
+            # last ring (into the loss slot) is the parent's result ring
+            assert len(rings) == S
+            assert all(r.slots == 5 for r in rings)
+            assert rings[0].label.startswith("infer[inject")
+        finally:
+            for r in rings:
+                r.close()
+                r.unlink()
+
+    def test_build_inference_rings_rejects_zero_slots(self):
+        from repro.pipeline.transport import build_inference_rings
+
+        model = small_cnn(num_classes=4, widths=(4,), seed=0)
+        ex = PipelineExecutor(model, lr=0.01, mode="pb")
+        with pytest.raises(TransportError, match="slot"):
+            build_inference_rings(ex.stages, np.zeros((1, 3, 8, 8)), slots=0)
