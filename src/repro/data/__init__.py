@@ -18,6 +18,7 @@ from repro.data.loader import (
     ResumableSampleStream,
     iterate_batches,
     sample_stream,
+    shard_positions,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "ResumableSampleStream",
     "iterate_batches",
     "sample_stream",
+    "shard_positions",
 ]

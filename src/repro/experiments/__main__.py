@@ -74,6 +74,13 @@ def main(argv: list[str] | None = None) -> int:
         "(process, free-running)",
     )
     parser.add_argument(
+        "--replicas", metavar="R", type=int, default=None,
+        help="data-parallel pipeline replicas for replica-aware "
+        "experiments (e.g. hybrid_parallelism): R copies of the "
+        "process-runtime pipeline over disjoint shards, gradients "
+        "reduced at update barriers",
+    )
+    parser.add_argument(
         "--checkpoint", metavar="DIR", default=None,
         help="checkpoint directory for durability-aware experiments "
         "(e.g. durable_training): snapshots land here instead of a "
@@ -135,6 +142,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["schedule"] = args.schedule
     if args.runtime is not None:
         overrides["runtime"] = args.runtime
+    if args.replicas is not None:
+        overrides["replicas"] = args.replicas
     if args.checkpoint is not None:
         overrides["checkpoint"] = args.checkpoint
     if args.checkpoint_every is not None:

@@ -108,6 +108,13 @@ EXPERIMENTS: dict[str, tuple[Callable[..., dict], str]] = {
         "resume to hex-identical weights (supports --resume / "
         "--checkpoint / --checkpoint-every)",
     ),
+    "hybrid_parallelism": (
+        extensions.hybrid_parallelism,
+        "Extension — hybrid parallelism: R data-parallel pipeline "
+        "replicas vs one pipeline at R*U (bit-exact for synchronous "
+        "schedules; eq.-5 staleness per replica for pb/1f1b; supports "
+        "--schedule / --replicas)",
+    ),
     "serving": (
         extensions.serving,
         "Extension — pipelined inference serving vs sequential forward: "

@@ -79,6 +79,7 @@ from repro.pipeline.runtime import (
     ConcurrentPipelineRunner,
     PipelineRuntimeError,
     ProcessPipelineRunner,
+    ReplicatedPipelineRunner,
     RuntimeStats,
     StageRuntimeStats,
     make_pipeline_engine,
@@ -91,6 +92,7 @@ from repro.pipeline.transport import (
     TransportStall,
     build_inference_rings,
     build_pipeline_rings,
+    build_reduce_rings,
     probe_boundary_layouts,
     ring_slots_for,
 )
@@ -156,6 +158,7 @@ __all__ = [
     "ConcurrentPipelineRunner",
     "PipelineRuntimeError",
     "ProcessPipelineRunner",
+    "ReplicatedPipelineRunner",
     "RuntimeStats",
     "StageRuntimeStats",
     "make_pipeline_engine",
@@ -166,6 +169,7 @@ __all__ = [
     "TransportStall",
     "build_inference_rings",
     "build_pipeline_rings",
+    "build_reduce_rings",
     "probe_boundary_layouts",
     "ring_slots_for",
     "pb_occupancy",

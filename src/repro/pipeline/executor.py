@@ -126,6 +126,11 @@ class PipelineRunStats:
     #: (a :class:`~repro.pipeline.runtime.RuntimeStats`); ``None`` for
     #: discrete-time simulator runs.
     runtime: object | None = None
+    #: Data-parallel pipeline replicas that produced this record (the
+    #: replicated runner merges per-replica records with
+    #: :meth:`merge_replicas`); scales the worker-step capacity so
+    #: utilization stays sample-accurate under replication.
+    replicas: int = 1
 
     @property
     def utilization(self) -> float:
@@ -133,9 +138,10 @@ class PipelineRunStats:
 
         Each worker can process one forward and one backward packet of up
         to ``micro_batch`` samples per step, so capacity is counted in
-        sample transformations (``2 * S * T * B``) and work in actual
-        sample transformations — a partially-filled tail micro-batch
-        counts fractionally rather than as a full op.
+        sample transformations (``2 * S * T * B`` per replica, ``R``
+        replicas) and work in actual sample transformations — a
+        partially-filled tail micro-batch counts fractionally rather
+        than as a full op.
 
         A zero-step run (empty stream) has zero capacity *and* zero
         work; its utilization is defined as 0.0 rather than left to a
@@ -144,12 +150,66 @@ class PipelineRunStats:
         if self.time_steps <= 0:
             return 0.0
         width = max(self.micro_batch, 1)
-        capacity = 2.0 * self.num_stages * self.time_steps * width
+        capacity = (
+            2.0 * self.num_stages * self.time_steps * width
+            * max(self.replicas, 1)
+        )
         work = self.forward_samples + self.backward_samples
         if self.forward_ops + self.backward_ops > 0 and work == 0:
             # legacy construction with op counts but no sample counts
             work = self.forward_ops + self.backward_ops
         return work / capacity
+
+    @staticmethod
+    def merge_replicas(
+        parts: Sequence["PipelineRunStats"],
+        losses: np.ndarray,
+        updates_per_stage: list[int] | None = None,
+        runtime: object | None = None,
+    ) -> "PipelineRunStats":
+        """Merge per-replica run records into one sample-accurate record.
+
+        ``losses`` is the already-scattered global loss array (per-replica
+        losses mapped back to their global stream positions).  Work
+        counters are summed across replicas; ``time_steps`` is the *max*
+        (replicas run concurrently, so wall capacity is one replica's
+        steps times ``R`` workers — never the sum, which would
+        double-count capacity and deflate utilization).
+        """
+        if not parts:
+            raise ValueError("merge_replicas needs at least one record")
+        first = parts[0]
+        for p in parts[1:]:
+            if (
+                p.num_stages != first.num_stages
+                or p.schedule != first.schedule
+                or p.micro_batch != first.micro_batch
+            ):
+                raise ValueError(
+                    "merge_replicas: mismatched per-replica records "
+                    f"({p.schedule}/{p.num_stages}/{p.micro_batch} vs "
+                    f"{first.schedule}/{first.num_stages}/"
+                    f"{first.micro_batch})"
+                )
+        return PipelineRunStats(
+            losses=losses,
+            time_steps=max(p.time_steps for p in parts),
+            forward_ops=sum(p.forward_ops for p in parts),
+            backward_ops=sum(p.backward_ops for p in parts),
+            num_stages=first.num_stages,
+            samples=int(losses.shape[0]),
+            updates_per_stage=(
+                list(updates_per_stage)
+                if updates_per_stage is not None
+                else list(first.updates_per_stage)
+            ),
+            forward_samples=sum(p.forward_samples for p in parts),
+            backward_samples=sum(p.backward_samples for p in parts),
+            micro_batch=first.micro_batch,
+            schedule=first.schedule,
+            runtime=runtime,
+            replicas=sum(max(p.replicas, 1) for p in parts),
+        )
 
     @property
     def mean_loss(self) -> float:

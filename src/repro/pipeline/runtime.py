@@ -87,6 +87,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.mitigation import MitigationConfig
+from repro.data.loader import shard_positions
 from repro.models.arch import StageGraphModel
 from repro.pipeline.executor import (
     PipelineExecutor,
@@ -95,12 +96,13 @@ from repro.pipeline.executor import (
     check_stages_drained,
     softmax_xent_grad_batch,
 )
-from repro.pipeline.schedule import Schedule, ScheduleState
+from repro.pipeline.schedule import Schedule, ScheduleState, make_schedule
 from repro.pipeline.stage import PipelineStage, StageBuildSpec
 from repro.pipeline.transport import (
     ShmRing,
     TransportAborted,
     build_pipeline_rings,
+    build_reduce_rings,
     probe_boundary_layouts,
 )
 
@@ -161,6 +163,12 @@ class RuntimeStats:
     wall_seconds: float = 0.0
     stages: list[StageRuntimeStats] = field(default_factory=list)
     backend: str = "threaded"
+    #: pipeline replicas whose activity this record aggregates.  A
+    #: merged record sums per-stage busy seconds across R concurrent
+    #: replicas over one shared wall-clock window, so every per-stage
+    #: time budget is ``wall_seconds * replicas`` — without the factor,
+    #: R perfectly busy replicas would report R× "utilization".
+    replicas: int = 1
 
     @property
     def busy_seconds(self) -> float:
@@ -169,12 +177,12 @@ class RuntimeStats:
     def busy_fraction(self, stage_index: int) -> float:
         if self.wall_seconds <= 0.0:
             return 0.0
-        return self.stages[stage_index].busy_seconds / self.wall_seconds
+        wall = self.wall_seconds * max(self.replicas, 1)
+        return self.stages[stage_index].busy_seconds / wall
 
     def idle_seconds(self, stage_index: int) -> float:
-        return max(
-            0.0, self.wall_seconds - self.stages[stage_index].busy_seconds
-        )
+        wall = self.wall_seconds * max(self.replicas, 1)
+        return max(0.0, wall - self.stages[stage_index].busy_seconds)
 
     @property
     def mean_busy_fraction(self) -> float:
@@ -196,6 +204,51 @@ class RuntimeStats:
             }
             for st in self.stages
         ]
+
+    @staticmethod
+    def merge_replicas(parts: Sequence["RuntimeStats"]) -> "RuntimeStats":
+        """Aggregate per-replica runtime records of one replicated run.
+
+        The replicas ran concurrently over one wall-clock window, so
+        ``wall_seconds`` is the max (the window), per-stage op counts,
+        sample counts and busy seconds are summed, and ``replicas``
+        accumulates so :meth:`busy_fraction` divides by the combined
+        ``wall * R`` budget instead of double-counting capacity.
+        """
+        if not parts:
+            raise ValueError("merge_replicas needs at least one part")
+        first = parts[0]
+        for p in parts[1:]:
+            if p.num_stages != first.num_stages:
+                raise ValueError(
+                    "cannot merge runtime stats across stage counts "
+                    f"({p.num_stages} vs {first.num_stages})"
+                )
+            if p.schedule != first.schedule:
+                raise ValueError(
+                    "cannot merge runtime stats across schedules "
+                    f"({p.schedule!r} vs {first.schedule!r})"
+                )
+        stages = []
+        for s in range(first.num_stages):
+            merged = StageRuntimeStats(index=s)
+            for p in parts:
+                st = p.stages[s]
+                merged.forward_ops += st.forward_ops
+                merged.backward_ops += st.backward_ops
+                merged.forward_samples += st.forward_samples
+                merged.backward_samples += st.backward_samples
+                merged.busy_seconds += st.busy_seconds
+            stages.append(merged)
+        return RuntimeStats(
+            mode=first.mode,
+            schedule=first.schedule,
+            num_stages=first.num_stages,
+            wall_seconds=max(p.wall_seconds for p in parts),
+            stages=stages,
+            backend=first.backend,
+            replicas=sum(max(p.replicas, 1) for p in parts),
+        )
 
 
 @dataclass
@@ -881,6 +934,29 @@ class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
 
 
 @dataclass
+class _ReduceSpec:
+    """One stage worker's slice of the cross-replica reduce plane.
+
+    The reduce topology is a chain over replica ranks (see
+    :func:`~repro.pipeline.transport.build_reduce_rings`): partial
+    gradient sums travel rank ``0 -> 1 -> ... -> R-1`` over the
+    ``chain`` rings, and the finished global sum travels back
+    ``R-1 -> ... -> 0`` over the ``result`` rings.  The chain order is
+    load-bearing for bit-exactness: folding rank ``r``'s per-packet
+    gradients on top of ranks ``0..r-1``'s partial sum reproduces the
+    *stream-order left fold* a single pipeline at update size ``R*U``
+    performs, addition by addition.
+    """
+
+    rank: int
+    world: int
+    chain_in: ShmRing | None  # from rank-1 (None at rank 0)
+    chain_out: ShmRing | None  # to rank+1 (None at the last rank)
+    result_in: ShmRing | None  # from rank+1 (None at the last rank)
+    result_out: ShmRing | None  # to rank-1 (None at rank 0)
+
+
+@dataclass
 class _ProcessWorkerSpec:
     """Everything one stage worker needs, picklable under ``spawn``."""
 
@@ -902,6 +978,7 @@ class _ProcessWorkerSpec:
     build_spec: StageBuildSpec | None = None  # spawn path: rebuild recipe
     labels: np.ndarray | None = None  # loss stage only
     num_samples: int = 0
+    reduce: _ReduceSpec | None = None  # replicated runs only
 
 
 class _ProcessStageWorker:
@@ -922,6 +999,7 @@ class _ProcessStageWorker:
         self._pending_fwd: deque[int] = deque()
         self.cap = stage.delay + 1  # PipeDream in-flight bound (eq. 5)
         self.in_flight = 0
+        self._reduce_round = 0  # packet ids on the reduce rings
         self._rng = (
             np.random.default_rng(
                 (spec.jitter_seed * 1_000_003 + self.s) & 0xFFFFFFFF
@@ -1021,11 +1099,97 @@ class _ProcessStageWorker:
 
     # -- control ----------------------------------------------------------
 
+    def _reduce_flush(self, local_count: int) -> None:
+        """One cross-replica reduce round ending in a synchronized update.
+
+        Every replica's stage worker (same stage, ranks ``0..R-1``)
+        enters this once per global batch — replicas whose shard holds no
+        samples for the batch enter with ``local_count == 0`` and empty
+        segments, keeping the chain aligned.  Rank ``r`` receives ranks
+        ``0..r-1``'s partial sums, folds its own per-packet gradients on
+        top *in stream order*, and forwards; the last rank's fold is the
+        global sum, which travels back down the result chain.  Everyone
+        then installs the identical sum and applies the identical mean
+        update, so replicas stay bit-for-bit in sync — and equal to one
+        pipeline running the whole ``R*U`` batch.
+        """
+        spec = self.spec
+        red = spec.reduce
+        params = self.stage.params
+        segments = self.stage.pop_grad_segments()
+        if red.chain_in is not None:
+            pkt = red.chain_in.recv(
+                spec.stall_timeout,
+                f"stage {self.s} reduce chain (rank {red.rank})",
+                spec.abort,
+            )
+            # cumulative sample count rides in the ``start`` meta slot
+            upstream_count = int(pkt[1])
+            acc: list = list(pkt[3])  # zero-copy views into the ring slot
+        else:
+            upstream_count = 0
+            acc = [None] * len(params)
+        total = upstream_count + int(local_count)
+        for k, seg in enumerate(segments):
+            a = acc[k]
+            for g in seg:
+                # the left fold: same association order as the single
+                # pipeline's per-packet gradient accumulation
+                a = g if a is None else a + g
+            acc[k] = a
+        if params and any(a is None for a in acc):
+            # only reachable when rank 0 flushes a batch it saw no
+            # samples of — the block-cyclic shard gives rank 0 the
+            # earliest samples of every batch, so this is a plan bug
+            raise RuntimeError(
+                f"stage {self.s} rank {red.rank}: reduce round "
+                f"{self._reduce_round} has no gradient to contribute or "
+                "forward"
+            )
+        pid = self._reduce_round
+        self._reduce_round += 1
+        if red.chain_out is not None:
+            size = max((int(a.shape[0]) for a in acc), default=0)
+            red.chain_out.send(
+                pid, total, size, acc, spec.stall_timeout, spec.abort
+            )
+            if red.chain_in is not None:
+                red.chain_in.release()  # the send copied the views out
+            pkt = red.result_in.recv(
+                spec.stall_timeout,
+                f"stage {self.s} reduce result (rank {red.rank})",
+                spec.abort,
+            )
+            total = int(pkt[1])
+            result = [np.array(a, copy=True) for a in pkt[3]]
+            if red.result_out is not None:
+                red.result_out.send(
+                    pid, total, pkt[2], pkt[3], spec.stall_timeout,
+                    spec.abort,
+                )
+            red.result_in.release()
+        else:
+            # last rank: its fold IS the global sum.  Copy before
+            # releasing the inbound slot the views may alias.
+            result = [np.array(a, copy=True) for a in acc]
+            if red.chain_in is not None:
+                red.chain_in.release()
+            size = max((int(a.shape[0]) for a in result), default=0)
+            red.result_out.send(
+                pid, total, size, result, spec.stall_timeout, spec.abort
+            )
+        if params:
+            self.stage.set_reduced_grads(result)
+        self.stage.flush_update(total)
+
     def _apply_control(self, cmd) -> bool:
         """Apply a non-step command; ``True`` when the worker should exit."""
         tag = cmd[0]
         if tag == "flush":
-            self.stage.flush_update(cmd[1])
+            if self.spec.reduce is not None:
+                self._reduce_flush(int(cmd[1]))
+            else:
+                self.stage.flush_update(cmd[1])
             if not self.spec.lockstep:
                 # free mode: the parent must not inject the next batch
                 # until every stage has flushed — a worker past its
@@ -1149,6 +1313,10 @@ def _process_worker_main(spec: _ProcessWorkerSpec) -> None:
         # across consecutive train() calls).  A fork-inherited stage
         # would otherwise carry — and duplicate — prior runs' entries.
         stage.version_trace = []
+        if spec.reduce is not None:
+            # replicated sync runs fold per-packet gradient segments
+            # across replicas instead of accumulating locally
+            stage.collect_grad_segments = True
         _ProcessStageWorker(spec, stage).run()
     except TransportAborted:
         pass  # the parent is tearing the run down; exit quietly
@@ -1329,6 +1497,10 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         #: shape/dtype, so relaunches (per-segment drives, crash
         #: recovery) skip the dummy probe pass after the first launch
         self._layout_cache: dict[tuple, list] = {}
+        #: set by ReplicatedPipelineRunner before a launch: one
+        #: _ReduceSpec per stage, handed to the worker specs so flushes
+        #: run the cross-replica reduction
+        self._reduce_plan: list[_ReduceSpec] | None = None
 
     # (engine facade inherited from _ConcurrentEngineFacade)
 
@@ -1397,6 +1569,11 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
                 ),
                 labels=Y if stage.spec.kind == "loss" else None,
                 num_samples=X.shape[0],
+                reduce=(
+                    self._reduce_plan[s]
+                    if self._reduce_plan is not None
+                    else None
+                ),
             )
             proc = ctx.Process(
                 target=_process_worker_main,
@@ -1777,6 +1954,503 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         return sched.drain_span(n, self.num_stages)
 
 
+class ReplicatedPipelineRunner(_ConcurrentEngineFacade):
+    """Hybrid parallelism: ``R`` data-parallel copies of the ``S``-stage
+    pipeline over the process runtime (PipeDream-2BW-style replication,
+    Narayanan et al. 2021).
+
+    Each replica is a full :class:`ProcessPipelineRunner` (one worker
+    process per stage) consuming a disjoint **block-cyclic shard** of the
+    sample stream: sample ``i`` belongs to replica ``(i // U) % R`` where
+    ``U`` is the per-replica update size (see
+    :func:`repro.data.loader.shard_positions`).  That layout makes each
+    replica's contribution to global batch ``k`` a contiguous slice of
+    the stream, which is what lets the reduction reproduce a single
+    pipeline's gradient math bit for bit.
+
+    Synchronous schedules (``fill_drain``/``gpipe``) reduce gradients at
+    every update barrier over a shared-memory **chain reduce plane**
+    (:func:`~repro.pipeline.transport.build_reduce_rings`): per-packet
+    gradient segments fold across replicas in stream order, so the
+    global sum — and therefore every update — is hex-identical to one
+    pipeline running update size ``R*U``.  That is this runner's testable
+    contract (``tests/test_replica_parity.py``): replication changes
+    wall-clock parallelism, not the trajectory.
+
+    Asynchronous schedules (``pb``/``1f1b``) keep their fine-grained
+    per-gradient updates *within* each replica — reducing every
+    per-sample update across replicas would serialize exactly what the
+    paper pipelines — and merge at the ``train()`` drain barrier by
+    averaging per-replica weight deltas (folded in rank order, so the
+    merge is deterministic).  The eq.-5 staleness ceiling holds *per
+    replica* with local sample indices, since each replica is an
+    unmodified S-stage pipeline over its shard.
+
+    Contract deviations from the single-pipeline engines, documented:
+
+    * ``model_factory`` is required (every replica rebuilds the model),
+      and a ready-made ``schedule`` object is rejected — the runner
+      derives the per-replica schedule (update size ``U``) and the
+      master schedule (update size ``R*U`` for synchronous modes, so
+      checkpoint schedule tags and :class:`DurableRun` cadences match
+      the equivalent single pipeline).
+    * ``lr_schedule`` is evaluated once per ``train()`` call at its
+      entry drain barrier (on the master's ``samples_completed``), not
+      per update: mid-batch LR changes cannot be reduced consistently
+      across replicas without serializing them.
+    * every parameter must receive a gradient in every packet's
+      backward (true for all stage graphs in this repo); per-packet
+      parameter sparsity is not supported in reduce mode.
+
+    Crash recovery follows :class:`ProcessPipelineRunner`: with
+    ``max_restarts > 0``, a dead worker in *any* replica aborts all
+    replicas, restores the master snapshot taken at ``train()`` entry,
+    and replays the batch — a replica death recovers exactly like a
+    stage death, and the replay is bit-identical to a crash-free run.
+    Checkpointing via :class:`DurableRun`/:func:`capture_checkpoint`
+    works unchanged: between ``train()`` calls the authoritative state
+    lives in the master executor's stages.
+    """
+
+    def __init__(
+        self,
+        model: StageGraphModel,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        mitigation: MitigationConfig | None = None,
+        mode: str = "pb",
+        update_size: int = 1,
+        micro_batch_size: int = 1,
+        lr_schedule: Callable[[int], float] | None = None,
+        record_versions: bool = False,
+        schedule: Schedule | None = None,
+        lockstep: bool = False,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+        model_factory: Callable[[], StageGraphModel] | None = None,
+        start_method: str | None = None,
+        ring_slack: int = 2,
+        max_restarts: int = 0,
+        replicas: int = 2,
+    ):
+        if replicas < 2:
+            raise ValueError(
+                f"ReplicatedPipelineRunner needs replicas >= 2, got "
+                f"{replicas} (use ProcessPipelineRunner for one replica)"
+            )
+        if schedule is not None:
+            raise ValueError(
+                "ReplicatedPipelineRunner derives its per-replica and "
+                "master schedules from mode/update_size/micro_batch_size; "
+                "a ready-made schedule object cannot be split"
+            )
+        if model_factory is None:
+            raise ValueError(
+                "ReplicatedPipelineRunner requires a spawn-safe "
+                "model_factory: every replica rebuilds the model in its "
+                "own worker processes"
+            )
+        self.replicas = int(replicas)
+        rep_schedule = make_schedule(mode, update_size, micro_batch_size)
+        if rep_schedule.forward_only:
+            raise ValueError(
+                f"schedule {rep_schedule.name!r} is forward-only; "
+                "replication applies to training"
+            )
+        #: synchronous schedules reduce gradients at every update
+        #: barrier; asynchronous ones run independent replicas merged
+        #: at the train() drain barrier
+        self._sync = not rep_schedule.update_after_backward(0)
+        #: per-replica update size = the block-cyclic shard block
+        self._block = max(1, int(rep_schedule.update_size))
+        global_update = (
+            self._block * self.replicas if self._sync else update_size
+        )
+        self._executor = PipelineExecutor(
+            model,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            mitigation=mitigation,
+            mode=mode,
+            update_size=global_update,
+            micro_batch_size=micro_batch_size,
+            lr_schedule=lr_schedule,
+            record_versions=record_versions,
+        )
+        self.lockstep = bool(lockstep)
+        self.jitter = float(jitter)
+        self.jitter_seed = int(jitter_seed)
+        self.stall_timeout = float(stall_timeout)
+        self.model_factory = model_factory
+        self.ring_slack = int(ring_slack)
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.max_restarts = int(max_restarts)
+        self.restarts_used = 0
+        self.last_runtime_stats: RuntimeStats | None = None
+        #: the R inner single-pipeline runners (``replica_runners[r]``
+        #: is rank r); exposed so tests can reach per-replica state
+        #: (version traces, worker pids) directly
+        self.replica_runners: list[ProcessPipelineRunner] = []
+        for r in range(self.replicas):
+            rep = ProcessPipelineRunner(
+                model_factory(),
+                lr=lr,
+                momentum=momentum,
+                weight_decay=weight_decay,
+                mitigation=mitigation,
+                mode=mode,
+                update_size=update_size,
+                micro_batch_size=micro_batch_size,
+                lr_schedule=None,  # evaluated once at the master barrier
+                record_versions=record_versions,
+                lockstep=lockstep,
+                jitter=jitter,
+                jitter_seed=jitter_seed * 1_000_003 + r,
+                stall_timeout=stall_timeout,
+                model_factory=model_factory,
+                start_method=start_method,
+                ring_slack=ring_slack,
+                max_restarts=0,  # recovery is coordinated at this level
+            )
+            if rep.num_stages != self.num_stages:
+                raise ValueError(
+                    "model_factory builds a "
+                    f"{rep.num_stages}-stage model but the master model "
+                    f"has {self.num_stages} stages"
+                )
+            self.replica_runners.append(rep)
+        self.start_method = self.replica_runners[0].start_method
+        #: live-progress bases: master samples_completed only advances at
+        #: the merge barrier, so mid-drive progress is the sum of the
+        #: replicas' advances over these per-attempt baselines
+        self._progress_bases: list[int] | None = None
+
+    _infer_backend = "process"
+
+    def _infer_stream_kwargs(self) -> dict:
+        return {
+            "model_factory": self.model_factory,
+            "start_method": self.start_method,
+        }
+
+    @property
+    def samples_completed(self) -> int:
+        done = self._executor.samples_completed
+        bases = self._progress_bases
+        if bases is not None:
+            done += sum(
+                rep.samples_completed - base
+                for rep, base in zip(self.replica_runners, bases)
+            )
+        return done
+
+    # -- public entry -------------------------------------------------------
+
+    def train(self, X: np.ndarray, Y: Sequence[int]) -> PipelineRunStats:
+        """Shard the batch across the replicas and train them to the
+        drain barrier (reducing per update for synchronous schedules,
+        merging weight deltas at the end for asynchronous ones)."""
+        X = np.ascontiguousarray(X)
+        Y = np.asarray(Y)
+        if X.shape[0] != Y.shape[0]:
+            raise ValueError("X and Y length mismatch")
+        n = X.shape[0]
+        self.schedule.reset(n)
+        if n == 0:
+            counters = [
+                StageRuntimeStats(index=s) for s in range(self.num_stages)
+            ]
+            runtime = RuntimeStats(
+                mode=self.runtime_mode,
+                schedule=self.schedule.name,
+                num_stages=self.num_stages,
+                wall_seconds=0.0,
+                stages=counters,
+                backend="process",
+                replicas=self.replicas,
+            )
+            return self._finish_stats(np.zeros(0), 0, counters, runtime)
+        if self.lr_schedule is not None:
+            # once per train() call, at its entry drain barrier (see the
+            # class docstring's contract deviations)
+            self._executor.set_lr(
+                float(self.lr_schedule(self._executor.samples_completed))
+            )
+        snapshot = (
+            self._executor.state_dict() if self.max_restarts > 0 else None
+        )
+        attempt = 0
+        while True:
+            try:
+                return self._train_attempt(X, Y, n)
+            except PipelineRuntimeError:
+                if snapshot is None or attempt >= self.max_restarts:
+                    raise
+                attempt += 1
+                self.restarts_used += 1
+                self._executor.load_state_dict(snapshot)
+                self.schedule.reset(n)
+
+    # -- one attempt --------------------------------------------------------
+
+    def _train_attempt(
+        self, X: np.ndarray, Y: np.ndarray, n: int
+    ) -> PipelineRunStats:
+        R = self.replicas
+        block = self._block
+        shards = [shard_positions(n, r, R, block=block) for r in range(R)]
+        # global batches in this stream; shards that hold no samples of
+        # the final (or only) batch still join its reduce with an empty
+        # contribution so the chains stay aligned
+        if self._sync:
+            global_batch = R * block
+            rounds = -(-n // global_batch)
+            missing = [
+                rounds - (-(-int(pos.size) // block)) for pos in shards
+            ]
+        else:
+            missing = [0] * R
+        # ship the master's drain-barrier state into every replica
+        master_states = [st.state_dict() for st in self.stages]
+        for rep in self.replica_runners:
+            for stage, st in zip(rep.stages, master_states):
+                stage.load_state_dict(st)
+        reduce_rings: list[ShmRing] = []
+        if self._sync:
+            chain, result = build_reduce_rings(self.stages, R, slots=2)
+            reduce_rings = [r for per in chain for r in per]
+            reduce_rings += [r for per in result for r in per]
+            for r, rep in enumerate(self.replica_runners):
+                rep._reduce_plan = [
+                    _ReduceSpec(
+                        rank=r,
+                        world=R,
+                        chain_in=chain[s][r - 1] if r > 0 else None,
+                        chain_out=chain[s][r] if r < R - 1 else None,
+                        result_in=result[s][r] if r < R - 1 else None,
+                        result_out=result[s][r - 1] if r > 0 else None,
+                    )
+                    for s in range(self.num_stages)
+                ]
+        else:
+            for rep in self.replica_runners:
+                rep._reduce_plan = None
+        part_stats: list[PipelineRunStats | None] = [None] * R
+        errors: list[tuple[int, BaseException]] = []
+        self._progress_bases = [
+            rep.samples_completed for rep in self.replica_runners
+        ]
+
+        def drive(r: int) -> None:
+            rep = self.replica_runners[r]
+            pos = shards[r]
+            try:
+                part_stats[r] = self._drive_replica(
+                    rep,
+                    np.ascontiguousarray(X[pos]),
+                    Y[pos],
+                    missing[r],
+                )
+            except BaseException as exc:
+                errors.append((r, exc))
+
+        threads = [
+            threading.Thread(
+                target=drive, args=(r,), name=f"replica-driver-{r}",
+                daemon=True,
+            )
+            for r in range(R)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            aborted = False
+            while any(t.is_alive() for t in threads):
+                if not errors and not aborted:
+                    # cross-replica liveness watchdog: a replica's own
+                    # drive can miss its worker's death window (e.g.
+                    # the kill lands between drive phases), leaving the
+                    # *other* replicas blocked in a reduce until their
+                    # stall timeout.  The group monitor scans every
+                    # replica's workers so any abnormal exit fails the
+                    # whole group promptly.
+                    for r, rep in enumerate(self.replica_runners):
+                        dead = rep._find_dead_worker()
+                        if dead is not None:
+                            errors.append((
+                                r,
+                                PipelineRuntimeError(
+                                    dead,
+                                    RuntimeError(
+                                        f"replica {r} stage {dead} worker "
+                                        "process died (exitcode="
+                                        f"{rep._procs[dead].exitcode})"
+                                    ),
+                                ),
+                            ))
+                            break
+                if errors and not aborted:
+                    # one replica failed: abort the others so their
+                    # workers exit instead of stalling in a reduce no
+                    # peer will ever join
+                    aborted = True
+                    for rep in self.replica_runners:
+                        if rep._abort is not None:
+                            rep._abort.set()
+                for t in threads:
+                    t.join(0.05)
+        finally:
+            for t in threads:
+                t.join()
+            for ring in reduce_rings:
+                ring.close()
+                ring.unlink()
+            self._progress_bases = None
+        if errors:
+            for _, exc in errors:
+                if isinstance(exc, PipelineRuntimeError):
+                    raise exc
+            raise errors[0][1]
+        self._merge_replicas(master_states)
+        losses = np.zeros(n)
+        for pos, part in zip(shards, part_stats):
+            if pos.size:
+                losses[pos] = part.losses
+        self._executor.samples_completed += n
+        runtime = RuntimeStats.merge_replicas(
+            [part.runtime for part in part_stats]
+        )
+        self.last_runtime_stats = runtime
+        return PipelineRunStats.merge_replicas(
+            part_stats,
+            losses,
+            updates_per_stage=[st.updates_applied for st in self.stages],
+            runtime=runtime,
+        )
+
+    def _drive_replica(
+        self,
+        rep: ProcessPipelineRunner,
+        Xr: np.ndarray,
+        Yr: np.ndarray,
+        missing: int,
+    ) -> PipelineRunStats:
+        """One replica's launch/drive/finalize cycle (its driver thread).
+
+        Mirrors :meth:`ProcessPipelineRunner._train_attempt`, with two
+        replication extras: workers are launched even for an empty shard
+        (they must join the reduce), and ``missing`` zero-contribution
+        flushes follow the drive so this replica participates in global
+        batches its shard holds no samples of.
+        """
+        n_r = int(Xr.shape[0])
+        losses_r = np.zeros(n_r)
+        counters = [
+            StageRuntimeStats(index=s) for s in range(rep.num_stages)
+        ]
+        time_steps = 0
+        wall = 0.0
+        failed = True
+        try:
+            rep.schedule.reset(n_r)
+            rep.completion_order = []
+            rep._launch(Xr, Yr)
+            t0 = time.perf_counter()
+            if n_r:
+                if rep.lockstep:
+                    time_steps = rep._drive_lockstep(Xr, n_r)
+                else:
+                    time_steps = rep._drive_free(Xr, n_r)
+            for _ in range(missing):
+                rep._broadcast(("flush", 0))
+                if not rep.lockstep:
+                    for s in range(rep.num_stages):
+                        msg = rep._recv(s)
+                        if msg[0] != "flushed":  # pragma: no cover
+                            raise RuntimeError(
+                                f"stage {s}: expected flush ack, got "
+                                f"{msg[0]!r}"
+                            )
+            wall = time.perf_counter() - t0
+            rep._finalize_workers(losses_r, counters)
+            failed = False
+        finally:
+            rep._teardown(failed)
+            rep._reduce_plan = None
+        runtime = RuntimeStats(
+            mode=rep.runtime_mode,
+            schedule=rep.schedule.name,
+            num_stages=rep.num_stages,
+            wall_seconds=wall,
+            stages=counters,
+            backend="process",
+        )
+        check_stages_drained(rep.stages)
+        return rep._finish_stats(losses_r, time_steps, counters, runtime)
+
+    # -- merging ------------------------------------------------------------
+
+    def _merge_replicas(self, master_states: list[dict]) -> None:
+        """Fold the replicas' post-drive state into the master stages."""
+        if self._sync:
+            # the reduce already synchronized every update, so the
+            # replicas must agree bit for bit; adopt rank 0 after
+            # checking that invariant (a mismatch means the reduce plane
+            # is broken — fail loudly, never average it away)
+            ref_states = [
+                st.state_dict() for st in self.replica_runners[0].stages
+            ]
+            for r, rep in enumerate(self.replica_runners[1:], start=1):
+                for s, (stage, ref) in enumerate(
+                    zip(rep.stages, ref_states)
+                ):
+                    st = stage.state_dict()
+                    same = st["updates_applied"] == ref["updates_applied"]
+                    for key in ("params", "velocity", "prev_weights"):
+                        same = same and all(
+                            a.tobytes() == b.tobytes()
+                            for a, b in zip(st[key], ref[key])
+                        )
+                    if not same:
+                        raise RuntimeError(
+                            f"replica {r} diverged from replica 0 at "
+                            f"stage {s} despite synchronized updates — "
+                            "reduce plane violated its contract"
+                        )
+            for stage, st in zip(self.stages, ref_states):
+                stage.load_state_dict(st)
+            return
+        # asynchronous schedules: average per-replica weight deltas
+        # against the shipped base state (rank-order fold, deterministic)
+        R = self.replicas
+        for stage, base in zip(self.stages, master_states):
+            per_rep = [
+                rep.stages[stage.index].state_dict()
+                for rep in self.replica_runners
+            ]
+            merged: dict = {
+                "lr": base["lr"],
+                "updates_applied": base["updates_applied"]
+                + sum(
+                    p["updates_applied"] - base["updates_applied"]
+                    for p in per_rep
+                ),
+            }
+            for key in ("params", "velocity", "prev_weights"):
+                arrays = []
+                for k in range(len(base[key])):
+                    acc = per_rep[0][key][k] - base[key][k]
+                    for p in per_rep[1:]:
+                        acc = acc + (p[key][k] - base[key][k])
+                    arrays.append(base[key][k] + acc / R)
+                merged[key] = arrays
+            stage.load_state_dict(merged)
+
+
 def make_pipeline_engine(
     runtime: str,
     model: StageGraphModel,
@@ -1790,12 +2464,26 @@ def make_pipeline_engine(
     ``runtime="threaded"`` a :class:`ConcurrentPipelineRunner` (one worker
     thread per stage); ``runtime="process"`` a
     :class:`ProcessPipelineRunner` (one worker process per stage,
-    shared-memory transport).  The concurrent engines are free-running
-    unless ``lockstep=True``.  All three expose the same
+    shared-memory transport).  ``replicas=R`` with ``R > 1`` (process
+    runtime only) returns a :class:`ReplicatedPipelineRunner`: R
+    data-parallel pipeline copies with cross-replica gradient reduction
+    at update barriers.  The concurrent engines are free-running unless
+    ``lockstep=True``.  All engines expose the same
     ``train``/``samples_completed``/``set_lr`` surface, so callers like
     :class:`~repro.train.pb_trainer.PipelinedTrainer` switch engines
     without touching their training loops.
     """
+    replicas = int(kwargs.pop("replicas", 1) or 1)
+    if replicas > 1:
+        if runtime != "process":
+            raise ValueError(
+                f"replicas={replicas} requires runtime='process' (the "
+                "replicated runner is built on the process pipeline), "
+                f"got runtime={runtime!r}"
+            )
+        return ReplicatedPipelineRunner(
+            model, lr, lockstep=lockstep, replicas=replicas, **kwargs
+        )
     if runtime == "sim":
         return PipelineExecutor(model, lr, **kwargs)
     if runtime == "threaded":

@@ -88,6 +88,12 @@ class PipelineStage:
         # observed (forward version, backward version) pairs for validation
         self.version_trace: list[tuple[int, int, int]] = []
         self.record_versions = False
+        # replicated synchronous mode: keep each packet's gradient as a
+        # separate segment (stream order) instead of folding into p.grad,
+        # so the cross-replica reduction can reproduce the exact left-fold
+        # accumulation order of a single pipeline (see runtime.py)
+        self.collect_grad_segments = False
+        self._grad_segments: list[list[np.ndarray]] = []
 
     # -- weight loading helpers -------------------------------------------
 
@@ -233,6 +239,18 @@ class PipelineStage:
             self.version_trace.append(
                 (sample_id, entry.version_at_forward, self.updates_applied)
             )
+        if self.collect_grad_segments and self.params:
+            # pop this packet's gradient into its own segment; the
+            # left-fold over segments is re-run during the reduction.
+            # Caveat: a parameter contributing to several grads within
+            # one packet's graph still folds *inside* the packet (the
+            # autodiff accumulates it), so segments stay per-packet.
+            if not self._grad_segments:
+                self._grad_segments = [[] for _ in self.params]
+            for seg, p in zip(self._grad_segments, self.params):
+                if p.grad is not None:
+                    seg.append(p.grad)
+                    p.grad = None
         self._pending_grads += 1
         return upstream
 
@@ -277,6 +295,24 @@ class PipelineStage:
             p.grad = None
         self.updates_applied += 1
         self._pending_grads = 0
+
+    def pop_grad_segments(self) -> list[list[np.ndarray]]:
+        """Per-parameter per-packet gradient segments accumulated since
+        the last pop (stream order), for the cross-replica reduction."""
+        segs = self._grad_segments or [[] for _ in self.params]
+        self._grad_segments = []
+        return segs
+
+    def set_reduced_grads(self, grads: list[np.ndarray]) -> None:
+        """Install reduced gradients as if they had been accumulated
+        locally; the caller follows up with :meth:`flush_update`."""
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"stage {self.index}: {len(grads)} reduced gradients for "
+                f"{len(self.params)} parameters"
+            )
+        for p, g in zip(self.params, grads):
+            p.grad = g
 
     @property
     def pending_grads(self) -> int:
@@ -364,6 +400,7 @@ class PipelineStage:
         self.updates_applied = int(state["updates_applied"])
         self.lr = float(state.get("lr", self.lr))
         self._pending_grads = 0
+        self._grad_segments = []
         self.stash.clear()
 
 

@@ -529,3 +529,54 @@ def build_inference_rings(
             ring.unlink()
         raise
     return created
+
+
+def build_reduce_rings(
+    stages, replicas: int, slots: int = 2
+) -> tuple[list[list[ShmRing]], list[list[ShmRing]]]:
+    """Create the fixed-slot cross-replica reduce plane, one per stage.
+
+    For each stage ``s`` of an ``R``-replica pipeline the reduction is a
+    rank chain in stream order (rank 0 holds the earliest stream block):
+
+    * ``chain[s][r]`` carries the running left-fold prefix from rank
+      ``r`` to rank ``r + 1`` (``r`` in ``0..R-2``);
+    * ``result[s][r]`` carries the finished fold from rank ``r + 1``
+      back to rank ``r``.
+
+    Each ring's payload is the stage's parameter-gradient arrays (empty
+    for paramless stages — loss/identity ranks still chain to propagate
+    the global sample count, which rides in the packet metadata).
+    Rounds are strictly serialized by the blocking round trip, so a
+    small flat ``slots`` suffices.
+    """
+    if replicas < 2:
+        raise TransportError(f"reduce rings need >= 2 replicas, got {replicas}")
+    if slots < 1:
+        raise TransportError(f"reduce rings need >= 1 slot, got {slots}")
+    created: list[ShmRing] = []
+    try:
+        chain: list[list[ShmRing]] = []
+        result: list[list[ShmRing]] = []
+        for s, stage in enumerate(stages):
+            arrays = tuple(
+                ArraySpec(tuple(p.data.shape), str(p.data.dtype))
+                for p in stage.params
+            )
+            chain.append([])
+            result.append([])
+            for r in range(replicas - 1):
+                chain[s].append(
+                    ShmRing.create(f"reduce[{s}][{r}->{r + 1}]", arrays, slots)
+                )
+                created.append(chain[s][-1])
+                result[s].append(
+                    ShmRing.create(f"result[{s}][{r + 1}->{r}]", arrays, slots)
+                )
+                created.append(result[s][-1])
+    except BaseException:
+        for ring in created:
+            ring.close()
+            ring.unlink()
+        raise
+    return chain, result

@@ -60,6 +60,15 @@ class PipelinedTrainer:
         simulator; the default ``False`` free-runs (fastest, but
         ``pb``/``1f1b`` trajectories then depend on worker timing — see
         ``runtime.py``).
+    replicas:
+        Hybrid parallelism: ``R > 1`` (process runtime only) trains
+        ``R`` data-parallel pipeline replicas through a
+        :class:`~repro.pipeline.runtime.ReplicatedPipelineRunner`.  For
+        the synchronous schedules the *effective* update size becomes
+        ``R * update_size`` (gradients reduce across replicas at every
+        barrier), and the eq.-9 hyperparameter scaling keys off that
+        effective size — so ``R`` replicas at update size ``U`` train
+        the exact trajectory of one pipeline at ``R*U``.
     engine_kwargs:
         Extra engine-specific keyword arguments (e.g. ``model_factory``
         / ``start_method`` for the process backend).
@@ -81,17 +90,32 @@ class PipelinedTrainer:
         schedule: Schedule | None = None,
         runtime: str = "sim",
         lockstep: bool = False,
+        replicas: int = 1,
         **engine_kwargs,
     ):
         self.model = model
         self.dataset = dataset
         self.mitigation = mitigation or MitigationConfig.none()
+        self.replicas = int(replicas)
         if schedule is None:
             schedule = make_schedule(
                 mode, update_size=update_size, micro_batch_size=micro_batch_size
             )
+        elif self.replicas > 1:
+            raise ValueError(
+                "replicas > 1 derives per-replica and global schedules "
+                "from mode/update_size/micro_batch_size; a ready-made "
+                "schedule object cannot be split across replicas"
+            )
         self.schedule = schedule
-        scaled = reference.scaled_to(schedule.update_size)
+        # eq. 9 scales to the *effective* update size: synchronous
+        # replicas reduce into one global update of R*U samples, while
+        # the asynchronous schedules keep per-gradient updates per
+        # replica (update size unchanged)
+        effective_update = schedule.update_size
+        if self.replicas > 1 and not schedule.update_after_backward(0):
+            effective_update *= self.replicas
+        scaled = reference.scaled_to(effective_update)
         self.hyperparams = scaled
         self.runtime = runtime
         kwargs = dict(
@@ -99,10 +123,18 @@ class PipelinedTrainer:
             momentum=scaled.momentum,
             weight_decay=scaled.weight_decay,
             mitigation=self.mitigation,
-            schedule=schedule,
             lr_schedule=lr_schedule,
             **engine_kwargs,
         )
+        if self.replicas > 1:
+            kwargs.update(
+                mode=mode,
+                update_size=update_size,
+                micro_batch_size=micro_batch_size,
+                replicas=self.replicas,
+            )
+        else:
+            kwargs["schedule"] = schedule
         self.executor = make_pipeline_engine(
             runtime, model, lockstep=lockstep, **kwargs
         )

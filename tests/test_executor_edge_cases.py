@@ -200,3 +200,107 @@ class TestNumericalHygiene:
         # master weights are finite and the stash is empty
         assert all(np.all(np.isfinite(p.data)) for p in m.parameters())
         assert all(s.in_flight == 0 for s in ex.stages)
+
+
+class TestReplicaStatsMerge:
+    """Regression pins for per-replica stats aggregation: merging R
+    replicas' records must sum *work* but never sum *capacity* — R
+    identically-busy replicas report the same utilization and busy
+    fractions as one, not R× (or 1/R of) it."""
+
+    def _run_record(self, time_steps=10, replicas=1):
+        return PipelineRunStats(
+            losses=np.zeros(8), time_steps=time_steps, forward_ops=16,
+            backward_ops=16, num_stages=2, samples=8,
+            forward_samples=16, backward_samples=16, micro_batch=1,
+            schedule="fill_drain", replicas=replicas,
+        )
+
+    def test_replicas_field_scales_capacity(self):
+        """Direct construction: the same work over R=2 replicas' worth
+        of worker-step capacity is half the utilization."""
+        one = self._run_record()
+        two = self._run_record(replicas=2)
+        assert two.utilization == pytest.approx(one.utilization / 2)
+
+    def test_merge_identical_records_keeps_utilization(self):
+        """R identical replicas running concurrently: work doubles,
+        time_steps stays max (not sum), replicas carries R — so
+        utilization is unchanged, not doubled or halved."""
+        parts = [self._run_record(), self._run_record()]
+        merged = PipelineRunStats.merge_replicas(parts, np.zeros(16))
+        assert merged.replicas == 2
+        assert merged.time_steps == 10  # max, never sum
+        assert merged.forward_samples == 32
+        assert merged.samples == 16
+        assert merged.utilization == pytest.approx(parts[0].utilization)
+
+    def test_merge_uneven_records_uses_max_steps(self):
+        """Uneven shards: the longer replica's steps set the shared
+        wall capacity."""
+        parts = [self._run_record(time_steps=10),
+                 self._run_record(time_steps=7)]
+        merged = PipelineRunStats.merge_replicas(parts, np.zeros(16))
+        assert merged.time_steps == 10
+
+    def test_merge_rejects_mismatched_records(self):
+        other = PipelineRunStats(
+            losses=np.zeros(8), time_steps=10, forward_ops=16,
+            backward_ops=16, num_stages=3, samples=8,
+            schedule="fill_drain",
+        )
+        with pytest.raises(ValueError, match="mismatched"):
+            PipelineRunStats.merge_replicas(
+                [self._run_record(), other], np.zeros(16)
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            PipelineRunStats.merge_replicas([], np.zeros(0))
+
+    def test_runtime_stats_merge_busy_fractions(self):
+        """RuntimeStats.merge_replicas: per-stage busy seconds sum
+        across replicas but the per-stage time budget is wall * R, so
+        two fully-busy replicas report busy_fraction 1.0 (the un-
+        normalized merge would report 2.0)."""
+        from repro.pipeline import RuntimeStats, StageRuntimeStats
+
+        def record():
+            return RuntimeStats(
+                mode="free_running", schedule="fill_drain", num_stages=2,
+                wall_seconds=2.0, backend="process",
+                stages=[
+                    StageRuntimeStats(
+                        index=s, forward_ops=8, backward_ops=8,
+                        forward_samples=8, backward_samples=8,
+                        busy_seconds=2.0,
+                    )
+                    for s in range(2)
+                ],
+            )
+
+        single = record()
+        assert single.busy_fraction(0) == pytest.approx(1.0)
+        merged = RuntimeStats.merge_replicas([record(), record()])
+        assert merged.replicas == 2
+        assert merged.wall_seconds == pytest.approx(2.0)  # max, not sum
+        assert merged.stages[0].busy_seconds == pytest.approx(4.0)
+        assert merged.stages[0].forward_samples == 16
+        assert merged.busy_fraction(0) == pytest.approx(1.0)
+        assert merged.idle_seconds(0) == pytest.approx(0.0)
+
+    def test_runtime_stats_merge_rejects_mismatch(self):
+        from repro.pipeline import RuntimeStats, StageRuntimeStats
+
+        a = RuntimeStats(
+            mode="free_running", schedule="fill_drain", num_stages=1,
+            wall_seconds=1.0,
+            stages=[StageRuntimeStats(index=0)],
+        )
+        b = RuntimeStats(
+            mode="free_running", schedule="fill_drain", num_stages=2,
+            wall_seconds=1.0,
+            stages=[StageRuntimeStats(index=s) for s in range(2)],
+        )
+        with pytest.raises(ValueError):
+            RuntimeStats.merge_replicas([a, b])
+        with pytest.raises(ValueError):
+            RuntimeStats.merge_replicas([])
