@@ -86,7 +86,7 @@ def _speedup_case(name: str, build_model, n: int, shape: tuple, mode: str,
     thr_free_s, thr_stats = _best_wall_seconds(
         build_model, n, shape, mode, "threaded", False, repeats, **kw
     )
-    proc_lock_s, _ = _best_wall_seconds(
+    proc_lock_s, proc_lock_stats = _best_wall_seconds(
         build_model, n, shape, mode, "process", True, repeats, **kw
     )
     proc_free_s, proc_stats = _best_wall_seconds(
@@ -115,6 +115,10 @@ def _speedup_case(name: str, build_model, n: int, shape: tuple, mode: str,
         "process_per_stage_busy_fraction": [
             proc_rt.busy_fraction(s) for s in range(proc_rt.num_stages)
         ],
+        # control-plane cost of the lockstep process run: the batched
+        # step protocol's pipe traffic vs the modeled 2 msgs/worker/tick
+        # (1 command + 1 ack) of a per-tick round-trip protocol
+        "control": proc_lock_stats.runtime.control,
     }
 
 
@@ -172,6 +176,18 @@ def test_runtime_parallelism(benchmark, store):
         # its wall-clock ratio is recorded honestly either way
         assert case["process_samples"] == case["samples"]
         assert case["process_mean_loss"] > 0.0  # CE losses are positive
+        # control-plane: the batched lockstep protocol must beat the
+        # modeled per-tick round-trip baseline (2 pipe msgs/worker/tick)
+        control = case["control"]
+        assert control is not None and control["protocol"] == "batched-step"
+        print(
+            f"[runtime]   control plane: {control['msgs_per_step']:.2f} "
+            f"pipe msgs/step vs {control['baseline_msgs_per_step']} "
+            f"baseline ({control['acks_received']} acks over "
+            f"{control['time_steps']} steps, ack every "
+            f"{control['ack_interval']})"
+        )
+        assert control["msgs_per_step"] < control["baseline_msgs_per_step"]
     if not SMOKE:
         # free-running beats lockstep wall-clock on a >=4-stage model.
         # The 7-stage matmul case carries the hard floor (observed

@@ -8,6 +8,17 @@ gradient (``g += wd * w``), matching the reference He et al. setup.  An
 optional Nesterov variant (update ``m*v_{t+1} + g_t``) is included because
 the paper's quadratic analysis compares against it — note Nesterov is
 exactly generalized spike compensation with ``a=m, b=1``.
+
+Mixed precision (``precision=`` + optional ``loss_scaler=``): with a
+reduced-precision policy the optimizer keeps **float64 master copies**
+of every parameter — the update runs in float64 against the masters and
+the result is projected back onto the storage grid (float32 / bf16) the
+parameters live on, so many small gradients don't vanish into float32
+rounding.  A :class:`~repro.precision.scaler.LossScaler` adds dynamic
+loss scaling: the caller scales the loss before backprop, ``step``
+unscales the gradients, and a non-finite gradient **skips the step
+entirely** — weights and velocity stay byte-identical for a skipped
+update (pinned by a property test) while the scale backs off.
 """
 
 from __future__ import annotations
@@ -17,6 +28,8 @@ from typing import Iterable
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.precision.policy import PrecisionPolicy, resolve_precision
+from repro.precision.scaler import LossScaler
 
 
 class SGDM:
@@ -29,6 +42,8 @@ class SGDM:
         momentum: float = 0.0,
         weight_decay: float = 0.0,
         nesterov: bool = False,
+        precision: "PrecisionPolicy | str | None" = None,
+        loss_scaler: LossScaler | None = None,
     ):
         self.params = list(params)
         if not self.params:
@@ -41,8 +56,27 @@ class SGDM:
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.nesterov = bool(nesterov)
+        self.precision = resolve_precision(precision)
+        if not self.precision.trainable:
+            raise ValueError(
+                f"precision mode {self.precision.mode!r} is serving-only "
+                "and cannot drive an optimizer"
+            )
+        self.loss_scaler = loss_scaler
+        #: float64 master copies, present only for reduced-precision
+        #: modes; velocity lives in the master dtype alongside them
+        self._master: dict[int, np.ndarray] | None = None
+        if self.precision.master_weights:
+            self._master = {
+                id(p): p.data.astype(np.float64, copy=True)
+                for p in self.params
+            }
+        master_src = self._master
         self._velocity: dict[int, np.ndarray] = {
-            id(p): np.zeros_like(p.data) for p in self.params
+            id(p): np.zeros_like(
+                master_src[id(p)] if master_src is not None else p.data
+            )
+            for p in self.params
         }
         #: per-parameter scratch buffers so ``step`` allocates nothing on
         #: the hot path (lazily created, keyed by parameter and role)
@@ -58,9 +92,12 @@ class SGDM:
 
     def _buf(self, p: Parameter, role: str) -> np.ndarray:
         key = (id(p), role)
+        ref = (
+            self._master[id(p)] if self._master is not None else p.data
+        )
         buf = self._scratch.get(key)
-        if buf is None or buf.shape != p.data.shape:
-            buf = self._scratch[key] = np.empty_like(p.data)
+        if buf is None or buf.shape != ref.shape or buf.dtype != ref.dtype:
+            buf = self._scratch[key] = np.empty_like(ref)
         return buf
 
     def step(self) -> None:
@@ -73,15 +110,40 @@ class SGDM:
         textbook one — ``g + wd*w``, then ``v = m*v + g``, then
         ``w -= lr*update`` — so results are bit-identical to the naive
         out-of-place form (pinned in ``tests/test_optim.py``).
+
+        With a :class:`~repro.precision.scaler.LossScaler` the gradient
+        finiteness check runs **before** anything is mutated, so an
+        overflow step leaves weights and velocity bit-unchanged.
         """
+        scaler = self.loss_scaler
+        inv_scale = 1.0
+        if scaler is not None:
+            if scaler.found_overflow(p.grad for p in self.params):
+                scaler.update(True)
+                self.zero_grad()
+                return
+            scaler.update(False)
+            # scaler.update(False) may have grown the scale; the grads
+            # in hand were produced under the pre-update scale
+            inv_scale = 1.0 / scaler.scale if scaler.scale != 0 else 1.0
         m = self.momentum
+        masters = self._master
         for p in self.params:
             if p.grad is None:
                 continue
-            g = p.grad
+            if masters is not None:
+                w = masters[id(p)]
+                g = p.grad.astype(np.float64)
+                if scaler is not None:
+                    g *= inv_scale
+            else:
+                w = p.data
+                g = p.grad
+                if scaler is not None:
+                    g = g * inv_scale
             if self.weight_decay:
                 g_eff = self._buf(p, "g")
-                np.multiply(p.data, self.weight_decay, out=g_eff)
+                np.multiply(w, self.weight_decay, out=g_eff)
                 np.add(g, g_eff, out=g_eff)  # g_eff = g + wd*w
             else:
                 g_eff = g
@@ -95,16 +157,27 @@ class SGDM:
                 np.multiply(step_buf, self.lr, out=step_buf)
             else:
                 np.multiply(v, self.lr, out=step_buf)
-            np.subtract(p.data, step_buf, out=p.data)
+            np.subtract(w, step_buf, out=w)
+            if masters is not None:
+                # project the float64 master back onto the storage grid
+                p.data = self.precision.quantize(w)
 
     def state_dict(self) -> dict:
-        return {
+        state = {
             "lr": self.lr,
             "momentum": self.momentum,
             "weight_decay": self.weight_decay,
             "nesterov": self.nesterov,
+            "precision": self.precision.mode,
             "velocity": [self._velocity[id(p)].copy() for p in self.params],
         }
+        if self._master is not None:
+            state["master"] = [
+                self._master[id(p)].copy() for p in self.params
+            ]
+        if self.loss_scaler is not None:
+            state["loss_scaler"] = self.loss_scaler.state_dict()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         velocity = state["velocity"]
@@ -113,6 +186,18 @@ class SGDM:
                 f"state dict has {len(velocity)} velocity buffers but the "
                 f"optimizer binds {len(self.params)} parameters"
             )
+        saved_mode = state.get("precision", "float64")
+        if saved_mode != self.precision.mode:
+            raise ValueError(
+                f"state dict was saved in precision mode {saved_mode!r} "
+                f"but this optimizer runs in {self.precision.mode!r} — "
+                "rebuild the optimizer with the matching precision"
+            )
+        expected = (
+            np.dtype(np.float64)
+            if self._master is not None
+            else self.params[0].data.dtype
+        )
         for i, (p, v) in enumerate(zip(self.params, velocity)):
             if tuple(v.shape) != tuple(p.data.shape):
                 raise ValueError(
@@ -120,9 +205,30 @@ class SGDM:
                     f"parameter {i} expects {tuple(p.data.shape)} — "
                     "state dict does not match the bound parameters"
                 )
+            want = expected if self._master is not None else p.data.dtype
+            if v.dtype != want:
+                raise ValueError(
+                    f"velocity[{i}] has dtype {v.dtype} but the optimizer "
+                    f"runs in precision mode {self.precision.mode!r} "
+                    f"(expected {np.dtype(want).name}) — refusing the "
+                    "silent cast; re-save the state in the matching "
+                    "precision"
+                )
+        masters = state.get("master")
+        if (masters is not None) != (self._master is not None):
+            raise ValueError(
+                "state dict master-weight presence does not match the "
+                f"optimizer (precision mode {self.precision.mode!r})"
+            )
         self.lr = state["lr"]
         self.momentum = state["momentum"]
         self.weight_decay = state["weight_decay"]
         self.nesterov = state["nesterov"]
         for p, v in zip(self.params, velocity):
             self._velocity[id(p)] = v.copy()
+        if masters is not None:
+            for p, w in zip(self.params, masters):
+                self._master[id(p)] = w.astype(np.float64, copy=True)
+                p.data = self.precision.quantize(self._master[id(p)])
+        if self.loss_scaler is not None and "loss_scaler" in state:
+            self.loss_scaler.load_state_dict(state["loss_scaler"])

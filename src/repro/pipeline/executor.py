@@ -44,6 +44,7 @@ from repro.core.mitigation import MitigationConfig
 from repro.models.arch import StageGraphModel
 from repro.pipeline.schedule import Schedule, ScheduleState, make_schedule
 from repro.pipeline.stage import PipelineStage
+from repro.precision.policy import PrecisionPolicy, resolve_precision
 
 
 def softmax_xent_grad_batch(
@@ -241,6 +242,7 @@ class PipelineExecutor:
         lr_schedule: Callable[[int], float] | None = None,
         record_versions: bool = False,
         schedule: Schedule | None = None,
+        precision: "PrecisionPolicy | str | None" = None,
     ):
         if schedule is None:
             schedule = make_schedule(
@@ -249,6 +251,17 @@ class PipelineExecutor:
         specs = model.stage_defs
         if not specs or specs[-1].kind != "loss":
             raise ValueError("model must end with a loss stage")
+        self.precision = resolve_precision(precision)
+        if not self.precision.trainable:
+            raise ValueError(
+                f"precision mode {self.precision.mode!r} is serving-only; "
+                "training engines accept 'float64', 'float32' or 'bf16'"
+            )
+        if not self.precision.is_reference:
+            # one-time cast: parameters/buffers land on the policy's
+            # storage grid, so activations, gradients and (in the
+            # process runtime) every shm-ring slot follow its dtype
+            self.precision.cast_model(model)
         self.model = model
         self.schedule = schedule
         self.mode = schedule.name
@@ -264,6 +277,7 @@ class PipelineExecutor:
                 momentum=momentum,
                 weight_decay=weight_decay,
                 mitigation=self.mitigation,
+                precision=self.precision,
             )
             for i, spec in enumerate(specs)
         ]
@@ -371,7 +385,7 @@ class PipelineExecutor:
                 f"schedule {self.schedule.name!r} is forward-only; use "
                 "infer() (or repro.serve) instead of train()"
             )
-        X = np.asarray(X)
+        X = self.precision.cast_array(X)
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
             raise ValueError("X and Y length mismatch")
@@ -407,7 +421,7 @@ class PipelineExecutor:
 
         return infer_batch(
             self.stages,
-            X,
+            self.precision.cast_array(X),
             schedule=schedule,
             micro_batch_size=micro_batch_size,
             backend="sim",

@@ -558,6 +558,9 @@ class ProcessInferenceStream:
                             model_factory=model_factory,
                             index=s,
                             lr=stage.lr,
+                            # rebuild on the stage's storage grid so the
+                            # shipped state passes the dtype validation
+                            precision=stage.precision.mode,
                         )
                         if use_factory
                         else None

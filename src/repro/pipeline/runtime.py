@@ -169,6 +169,12 @@ class RuntimeStats:
     #: time budget is ``wall_seconds * replicas`` — without the factor,
     #: R perfectly busy replicas would report R× "utilization".
     replicas: int = 1
+    #: control-plane traffic of a process-backend lockstep run: counts of
+    #: pipe messages actually sent/received per simulated time step under
+    #: the batched step protocol, next to the ``2 * num_stages`` the
+    #: pre-batching protocol would have used.  ``None`` for backends and
+    #: modes that don't drive workers over control pipes.
+    control: dict | None = None
 
     @property
     def busy_seconds(self) -> float:
@@ -367,6 +373,11 @@ class _ConcurrentEngineFacade:
     def lr_schedule(self):
         return self._executor.lr_schedule
 
+    @property
+    def precision(self):
+        """The wrapped executor's :class:`~repro.precision.PrecisionPolicy`."""
+        return self._executor.precision
+
     def set_lr(self, lr: float) -> None:
         self._executor.set_lr(lr)
 
@@ -416,7 +427,7 @@ class _ConcurrentEngineFacade:
 
         return infer_batch(
             self.stages,
-            X,
+            self._executor.precision.cast_array(X),
             schedule=schedule,
             micro_batch_size=micro_batch_size,
             backend=self._infer_backend,
@@ -494,6 +505,7 @@ class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
         jitter: float = 0.0,
         jitter_seed: int = 0,
         stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+        precision: "str | None" = None,
     ):
         self._executor = PipelineExecutor(
             model,
@@ -507,6 +519,7 @@ class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
             lr_schedule=lr_schedule,
             record_versions=record_versions,
             schedule=schedule,
+            precision=precision,
         )
         self.lockstep = bool(lockstep)
         self.jitter = float(jitter)
@@ -588,7 +601,7 @@ class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
                 f"schedule {self.schedule.name!r} is forward-only; use "
                 "infer() (or repro.serve) instead of train()"
             )
-        X = np.asarray(X)
+        X = self._executor.precision.cast_array(X)
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
             raise ValueError("X and Y length mismatch")
@@ -913,7 +926,24 @@ class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
 #
 # The worker protocol (parent -> worker over ``conn``):
 #
-#   ("step", do_fwd, do_bwd)  lockstep only; worker acks ("ok", completed)
+#   ("step", do_fwd, do_bwd, need_ack, cmds)
+#                             lockstep only.  One pipe write carries the
+#                             whole tick for this worker: ``cmds`` is a
+#                             tuple of ("flush", n) / ("set_lr", lr)
+#                             commands applied *before* the step work
+#                             (they were generated at the previous
+#                             tick's barrier, so pre-application
+#                             reproduces the old broadcast ordering
+#                             exactly).  The worker acks
+#                             ("ok", completed_since_last_ack) only when
+#                             ``need_ack`` is set — the parent computes
+#                             completions from its own packet metadata
+#                             and requests an ack every
+#                             ``lockstep_ack_interval`` ticks purely as
+#                             a flow-control barrier + invariant check.
+#                             Idle ticks (no work, no cmds, no ack due)
+#                             are not sent at all; the worker simply
+#                             never learns they happened.
 #   ("flush", count)          synchronous-schedule batch boundary
 #   ("set_lr", lr)            LR schedule tick
 #   ("finalize",)             reply ("state", payload) and exit
@@ -921,11 +951,18 @@ class ConcurrentPipelineRunner(_ConcurrentEngineFacade):
 #
 # and worker -> parent:
 #
-#   ("ok", completed)         lockstep step ack
+#   ("ok", completed)         lockstep windowed ack (completions since
+#                             the previous ack)
 #   ("done", start, size)     free-running completion (stage 0 only)
 #   ("state", payload)        finalize reply: state_dict + counters (+
 #                             losses and version traces)
 #   ("err", stage, text)      any failure; parent raises PipelineRuntimeError
+#
+# The batched protocol cuts lockstep control traffic from 2*S pipe
+# messages per simulated time step (S sends + S acks) to at most S sends
+# plus S/ack_interval acks — and usually fewer sends, since workers with
+# no packet this tick are skipped.  Per-run measurements land in
+# ``RuntimeStats.control`` (see ``bench_runtime_parallelism.py``).
 #
 # Slot lifetime follows the autodiff engine's lazy reads (see
 # transport.py): a compute stage's forward slot is released only when
@@ -1236,13 +1273,21 @@ class _ProcessStageWorker:
 
     def _run_lockstep(self) -> None:
         spec = self.spec
+        completed_since_ack = 0
         while True:
             cmd = self._recv_cmd()
             if cmd[0] != "step":
+                # standalone legacy command (end-of-run flush delivery,
+                # replicated missing-round flushes, finalize, stop)
                 if self._apply_control(cmd):
                     return
                 continue
-            _, do_fwd, do_bwd = cmd
+            _, do_fwd, do_bwd, need_ack, cmds = cmd
+            # coalesced control first: these commands were generated at
+            # the previous tick's barrier, so applying them before this
+            # step's work reproduces the standalone-broadcast ordering
+            for sub in cmds:
+                self._apply_control(sub)
             completed = 0
             # forward before backward inside one step, exactly as the
             # simulator's forward sweep precedes its backward sweep
@@ -1260,7 +1305,10 @@ class _ProcessStageWorker:
                         spec.abort,
                     )
                 )
-            spec.conn.send(("ok", completed))
+            completed_since_ack += completed
+            if need_ack:
+                spec.conn.send(("ok", completed_since_ack))
+                completed_since_ack = 0
 
     def _run_free(self) -> None:
         spec = self.spec
@@ -1361,6 +1409,25 @@ class _FlushProxy:
                     )
 
 
+class _PendingCmdProxy:
+    """Stand-in for the executor inside ``Schedule.end_step`` under the
+    batched lockstep protocol: instead of broadcasting a flush on its own
+    pipe write, the command is queued per worker and rides the next
+    ``("step", ...)`` message each worker receives.  Workers apply queued
+    commands *before* that step's work, which is exactly where the old
+    standalone broadcast landed in their pipe (end_step runs at the tick
+    barrier, after the tick's sends), so the worker-side operation order
+    — and therefore every bit of state — is unchanged.
+    """
+
+    def __init__(self, pending: list[list]):
+        self._pending = pending
+
+    def flush_stages(self, count: int) -> None:
+        for q in self._pending:
+            q.append(("flush", int(count)))
+
+
 class ProcessPipelineRunner(_ConcurrentEngineFacade):
     """Execute a :class:`StageGraphModel` pipeline with one worker
     *process* per stage and shared-memory packet transport.
@@ -1434,6 +1501,8 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         start_method: str | None = None,
         ring_slack: int = 2,
         max_restarts: int = 0,
+        precision: "str | None" = None,
+        lockstep_ack_interval: int = 16,
     ):
         self._executor = PipelineExecutor(
             model,
@@ -1447,8 +1516,16 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
             lr_schedule=lr_schedule,
             record_versions=record_versions,
             schedule=schedule,
+            precision=precision,
         )
         self.lockstep = bool(lockstep)
+        if lockstep_ack_interval < 1:
+            raise ValueError(
+                f"lockstep_ack_interval must be >= 1, got "
+                f"{lockstep_ack_interval}"
+            )
+        self.lockstep_ack_interval = int(lockstep_ack_interval)
+        self.last_control_stats: dict | None = None
         self.jitter = float(jitter)
         self.jitter_seed = int(jitter_seed)
         self.stall_timeout = float(stall_timeout)
@@ -1490,6 +1567,7 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         self._procs: list[mp.process.BaseProcess] = []
         self._conns: list[Any] = []
         self._child_conns: list[Any] = []
+        self._rx_buf: list[deque] = []
         self._rings: list[ShmRing] = []
         self._fwd_rings: list[ShmRing] = []
         self._abort = None
@@ -1532,6 +1610,7 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         self._abort = ctx.Event()
         self._conns = []
         self._child_conns = []
+        self._rx_buf = [deque() for _ in range(S)]
         self._procs = []
         use_factory = self.model_factory is not None
         for s in range(S):
@@ -1563,6 +1642,7 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
                         mitigation=self._opt["mitigation"],
                         always_stash=self.schedule.stash_weights,
                         record_versions=stage.record_versions,
+                        precision=self._executor.precision.mode,
                     )
                     if use_factory
                     else None
@@ -1630,6 +1710,32 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
             ),
         )
 
+    def _scan_for_err(self) -> None:
+        """Drain buffered worker messages; raise the first ``err`` found.
+
+        A worker failure now often surfaces indirectly: the batched
+        lockstep protocol lets the parent run ahead, so sibling workers
+        of the stage that actually failed die next on the aborted
+        transport (quietly — see ``_process_worker_main``), and the
+        parent's first symptom can be a sibling's pipe EOF or a stall.
+        The root-cause ``err`` report is still sitting in the failed
+        worker's pipe; scanning every pipe before raising a secondary
+        error keeps the failure attributed to the right stage.  Non-err
+        messages (e.g. in-flight acks from healthy workers) are stashed
+        and replayed to later ``_recv`` calls.
+        """
+        for s, conn in enumerate(self._conns):
+            try:
+                while conn.poll(0):
+                    msg = conn.recv()
+                    if msg[0] == "err":
+                        raise PipelineRuntimeError(
+                            msg[1], RuntimeError(msg[2])
+                        )
+                    self._rx_buf[s].append(msg)
+            except (EOFError, OSError):
+                continue
+
     def _recv(self, s: int):
         """One message from worker ``s`` with the stall deadline.
 
@@ -1640,12 +1746,16 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         ``send`` has returned in the child its bytes are in the pipe
         buffer and visible to ``poll`` — so raising loses no messages.
         """
+        if self._rx_buf[s]:
+            return self._rx_buf[s].popleft()  # err is never stashed
         deadline = time.monotonic() + self.stall_timeout
         while not self._conns[s].poll(0.05):
             dead = self._find_dead_worker()
             if dead is not None:
+                self._scan_for_err()
                 self._raise_dead_worker(dead)
             if time.monotonic() >= deadline:
+                self._scan_for_err()
                 raise RuntimeError(
                     f"pipeline runtime stalled waiting on stage {s} worker "
                     f"({self.stall_timeout:.1f}s) — likely deadlock or a "
@@ -1656,6 +1766,8 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         except (EOFError, OSError) as exc:
             # a worker killed without reporting (OOM, segfault) closes
             # its pipe end; surface the documented error, not a bare EOF
+            # — unless a sibling's buffered err names the real culprit
+            self._scan_for_err()
             raise PipelineRuntimeError(
                 s,
                 RuntimeError(
@@ -1667,16 +1779,25 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
             raise PipelineRuntimeError(msg[1], RuntimeError(msg[2]))
         return msg
 
-    def _apply_lr_schedule(self) -> None:
+    def _apply_lr_schedule(self, pending=None) -> None:
         if self.lr_schedule is None:
             return
         lr = float(self.lr_schedule(self._executor.samples_completed))
         self._executor.set_lr(lr)
         # workers start from the shipped state's lr; only a *change*
         # needs a broadcast (a constant post-warmup schedule would
-        # otherwise cost stages × samples no-op pipe sends)
+        # otherwise cost stages × samples no-op pipe sends).  The
+        # lockstep driver passes its per-worker pending-command queues
+        # instead of broadcasting, so the change rides the next batched
+        # step message to each worker (same worker-side ordering: the
+        # cmd applies before that worker's next op, exactly where the
+        # old broadcast landed in its pipe).
         if lr != self._last_broadcast_lr:
-            self._broadcast(("set_lr", lr))
+            if pending is not None:
+                for q in pending:
+                    q.append(("set_lr", lr))
+            else:
+                self._broadcast(("set_lr", lr))
             self._last_broadcast_lr = lr
 
     def _finalize_workers(
@@ -1728,6 +1849,7 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         self._procs = []
         self._conns = []
         self._child_conns = []
+        self._rx_buf = []
         self._rings = []
         self._fwd_rings = []
         self._abort = None
@@ -1748,7 +1870,7 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
                 f"schedule {self.schedule.name!r} is forward-only; use "
                 "infer() (or repro.serve) instead of train()"
             )
-        X = np.ascontiguousarray(X)
+        X = np.ascontiguousarray(self._executor.precision.cast_array(X))
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
             raise ValueError("X and Y length mismatch")
@@ -1796,6 +1918,7 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
         counters: list[StageRuntimeStats] = [
             StageRuntimeStats(index=s) for s in range(self.num_stages)
         ]
+        self.last_control_stats = None
         failed = True
         try:
             self._launch(X, Y)
@@ -1820,41 +1943,121 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
             wall_seconds=wall,
             stages=counters,
             backend="process",
+            control=self.last_control_stats,
         )
         check_stages_drained(self.stages)
         return self._finish_stats(losses, time_steps, counters, runtime)
 
     # -- lockstep driver ----------------------------------------------------
 
+    def _check_worker_errors(self) -> None:
+        """Surface a worker death or error report without blocking.
+
+        Under the batched protocol the parent no longer receives a
+        per-tick message that would carry an ``err``; this poll is the
+        replacement, run whenever the parent is about to wait (injection
+        backpressure) or has seen the abort flag.
+        """
+        self._scan_for_err()
+        dead = self._find_dead_worker()
+        if dead is not None:
+            self._raise_dead_worker(dead)
+
+    def _send_injection(self, pid, start, size, payload) -> None:
+        """Inject a packet into the stage-0 ring with bounded waiting.
+
+        The batched protocol lets the parent run up to an ack window
+        ahead of the workers, so a full injection ring is ordinary flow
+        control rather than a rare race; spin on ``try_send`` with
+        liveness checks so a dead or erroring worker surfaces as
+        :class:`PipelineRuntimeError` instead of a transport stall.
+        """
+        ring = self._fwd_rings[0]
+        if ring.try_send(pid, start, size, payload):
+            return
+        deadline = time.monotonic() + self.stall_timeout
+        while True:
+            self._check_worker_errors()
+            if ring.try_send(pid, start, size, payload):
+                return
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    "pipeline runtime stalled injecting into the "
+                    f"stage-0 ring ({self.stall_timeout:.1f}s) — likely "
+                    "deadlock or a dead process"
+                )
+            time.sleep(0.0002)
+
     def _drive_lockstep(self, X: np.ndarray, n: int) -> int:
         """Mirror of ``PipelineExecutor._run``'s control flow: the parent
         tracks packet *positions* (metadata only) while the payloads hop
-        worker-to-worker through the rings; one scatter/gather barrier
-        per simulated time step keeps the run bit-exact."""
+        worker-to-worker through the rings.
+
+        Control plane (protocol notes at the top of the module): each
+        worker gets at most **one** pipe write per simulated time step —
+        ``("step", do_fwd, do_bwd, need_ack, cmds)`` with any
+        batch-boundary flush / LR-schedule commands from the previous
+        tick's barrier coalesced into ``cmds`` — and workers with
+        nothing to do this tick get no message at all.  Completions are
+        computed parent-side from the packet metadata it already tracks
+        (stage 0's backward size, plus the loss-stage forward when
+        ``S == 1``), which is exactly the sum the old per-tick ack
+        barrier collected; workers report
+        ``("ok", completed_since_last_ack)`` only every
+        ``lockstep_ack_interval`` ticks as a flow-control barrier, and
+        the parent cross-checks the acked total against its metadata
+        count to catch protocol drift.  The per-worker operation
+        sequence is unchanged from the per-tick protocol, so lockstep
+        runs stay bit-exact with the simulator.
+        """
         S = self.num_stages
         sched = self.schedule
         state = ScheduleState(num_samples=n)
-        proxy = _FlushProxy(self, wait_acks=False)
+        pending: list[list] = [[] for _ in range(S)]
+        proxy = _PendingCmdProxy(pending)
         fwd_meta: dict[int, tuple[int, int, int]] = {}
         bwd_meta: dict[int, tuple[int, int, int]] = {}
+        ack_every = self.lockstep_ack_interval
+        ticks_since_ack = 0
+        expect_completed = 0  # metadata completions since the last ack
+        sends = 0
+        acks = 0
         while state.next_sample < n or fwd_meta or bwd_meta:
+            if self._abort is not None and self._abort.is_set():
+                # a worker posted an error and aborted the transport;
+                # surface it instead of streaming more commands
+                self._check_worker_errors()
+                raise RuntimeError(  # pragma: no cover - err precedes abort
+                    "pipeline transport aborted without a worker error "
+                    "report"
+                )
             if state.next_sample < n and 0 not in fwd_meta:
                 size = min(sched.inject_size(state), n - state.next_sample)
                 if size > 0:
                     i = state.next_sample
-                    self._fwd_rings[0].send(
-                        i, i, size, [X[i : i + size]], self.stall_timeout,
-                        self._abort,
-                    )
+                    self._send_injection(i, i, size, [X[i : i + size]])
                     fwd_meta[0] = (i, i, size)
                     state.next_sample += size
 
+            ticks_since_ack += 1
+            need_ack = ticks_since_ack >= ack_every
             for s in range(S):
-                self._conns[s].send(("step", s in fwd_meta, s in bwd_meta))
-            completed = 0
-            for s in range(S):
-                msg = self._recv(s)  # the barrier
-                completed += msg[1]
+                do_fwd = s in fwd_meta
+                do_bwd = s in bwd_meta
+                if not (do_fwd or do_bwd or pending[s] or need_ack):
+                    continue  # idle worker: skip the pipe write entirely
+                self._conns[s].send(
+                    ("step", do_fwd, do_bwd, need_ack, tuple(pending[s]))
+                )
+                pending[s].clear()
+                sends += 1
+
+            # what the old per-tick ack barrier summed: only stage 0's
+            # backward completes samples (plus the seeded backward the
+            # loss forward consumes when it *is* stage 0)
+            completed = bwd_meta[0][2] if 0 in bwd_meta else 0
+            if S == 1 and 0 in fwd_meta:
+                completed += fwd_meta[0][2]
 
             new_fwd: dict[int, tuple[int, int, int]] = {}
             new_bwd: dict[int, tuple[int, int, int]] = {}
@@ -1872,11 +2075,55 @@ class ProcessPipelineRunner(_ConcurrentEngineFacade):
             fwd_meta, bwd_meta = new_fwd, new_bwd
             state.completed += completed
             self._executor.samples_completed += completed
+            expect_completed += completed
             state.step += 1
 
-            # batch boundaries + LR schedule at the barrier, as in the sim
+            # batch boundaries + LR schedule at the barrier, as in the
+            # sim; generated commands ride the *next* tick's step sends
             sched.end_step(proxy, state)
-            self._apply_lr_schedule()
+            self._apply_lr_schedule(pending=pending)
+
+            if need_ack:
+                acked = 0
+                for s in range(S):
+                    msg = self._recv(s)  # the windowed barrier
+                    if msg[0] != "ok":  # pragma: no cover - protocol bug
+                        raise RuntimeError(
+                            f"stage {s}: expected step ack, got {msg[0]!r}"
+                        )
+                    acked += msg[1]
+                if acked != expect_completed:  # pragma: no cover - bug trap
+                    raise RuntimeError(
+                        "lockstep ack mismatch: workers completed "
+                        f"{acked} samples this window, metadata "
+                        f"predicted {expect_completed}"
+                    )
+                ticks_since_ack = 0
+                expect_completed = 0
+                acks += S
+
+        # commands generated at the final tick's barrier (e.g. the last
+        # batch flush) have no later step message to ride: deliver them
+        # as standalone legacy commands before finalize
+        for s in range(S):
+            for cmd in pending[s]:
+                self._conns[s].send(cmd)
+                sends += 1
+            pending[s].clear()
+
+        ticks = state.step
+        self.last_control_stats = {
+            "protocol": "batched-step",
+            "time_steps": ticks,
+            "num_stages": S,
+            "ack_interval": ack_every,
+            "pipe_msgs_sent": sends,
+            "acks_received": acks,
+            "round_trips_total": sends + acks,
+            "msgs_per_step": (sends + acks) / ticks if ticks else 0.0,
+            # the pre-batching protocol: S step sends + S acks per tick
+            "baseline_msgs_per_step": 2 * S,
+        }
         return state.step
 
     # -- free-running driver -------------------------------------------------
@@ -2034,6 +2281,8 @@ class ReplicatedPipelineRunner(_ConcurrentEngineFacade):
         ring_slack: int = 2,
         max_restarts: int = 0,
         replicas: int = 2,
+        precision: "str | None" = None,
+        lockstep_ack_interval: int = 16,
     ):
         if replicas < 2:
             raise ValueError(
@@ -2079,6 +2328,7 @@ class ReplicatedPipelineRunner(_ConcurrentEngineFacade):
             micro_batch_size=micro_batch_size,
             lr_schedule=lr_schedule,
             record_versions=record_versions,
+            precision=precision,
         )
         self.lockstep = bool(lockstep)
         self.jitter = float(jitter)
@@ -2115,6 +2365,8 @@ class ReplicatedPipelineRunner(_ConcurrentEngineFacade):
                 start_method=start_method,
                 ring_slack=ring_slack,
                 max_restarts=0,  # recovery is coordinated at this level
+                precision=precision,
+                lockstep_ack_interval=lockstep_ack_interval,
             )
             if rep.num_stages != self.num_stages:
                 raise ValueError(
@@ -2154,7 +2406,7 @@ class ReplicatedPipelineRunner(_ConcurrentEngineFacade):
         """Shard the batch across the replicas and train them to the
         drain barrier (reducing per update for synchronous schedules,
         merging weight deltas at the end for asynchronous ones)."""
-        X = np.ascontiguousarray(X)
+        X = np.ascontiguousarray(self._executor.precision.cast_array(X))
         Y = np.asarray(Y)
         if X.shape[0] != Y.shape[0]:
             raise ValueError("X and Y length mismatch")

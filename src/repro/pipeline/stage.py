@@ -44,6 +44,11 @@ from repro.core.prediction import (
 )
 from repro.models.arch import StageDef
 from repro.pipeline.delays import stage_delay
+from repro.precision.policy import (
+    PrecisionPolicy,
+    resolve_precision,
+    simulate_bf16,
+)
 from repro.tensor.tensor import Tensor, backward_multi
 
 
@@ -68,6 +73,7 @@ class PipelineStage:
         momentum: float = 0.0,
         weight_decay: float = 0.0,
         mitigation: MitigationConfig | None = None,
+        precision: "PrecisionPolicy | str | None" = None,
     ):
         self.index = index
         self.spec = spec
@@ -78,6 +84,16 @@ class PipelineStage:
         self.weight_decay = float(weight_decay)
         self.mitigation = mitigation or MitigationConfig.none()
         self.params = list(spec.module.parameters()) if spec.module else []
+        if precision is None and self.params:
+            # infer the mode from the (possibly pre-cast) parameters so
+            # error messages and re-quantization stay correct even when
+            # the caller cast the model manually
+            inferred = str(self.params[0].data.dtype)
+            precision = inferred if inferred in ("float32",) else None
+        self.precision = resolve_precision(precision)
+        #: update steps dropped because a gradient went non-finite
+        #: (reduced-precision modes only; float64 never checks)
+        self.overflow_skips = 0
         self._velocity = {id(p): np.zeros_like(p.data) for p in self.params}
         self._prev_weights = {id(p): p.data.copy() for p in self.params}
         self.updates_applied = 0
@@ -271,6 +287,21 @@ class PipelineStage:
 
     def _apply(self, scale: float, plain: bool = False) -> None:
         m = self.momentum
+        if not self.precision.is_reference and self.params:
+            # reduced precision overflows where float64 would not; a
+            # non-finite gradient skips the whole update (weights and
+            # velocity untouched) instead of poisoning the parameters.
+            # The skip still counts as an applied update so schedule
+            # version bookkeeping and drain logic stay consistent.
+            for p in self.params:
+                if p.grad is not None and not np.all(np.isfinite(p.grad)):
+                    for q in self.params:
+                        q.grad = None
+                    self.overflow_skips += 1
+                    self.updates_applied += 1
+                    self._pending_grads = 0
+                    return
+        bf16 = self.precision.mode == "bf16"
         for p in self.params:
             if p.grad is None:
                 continue
@@ -291,7 +322,11 @@ class PipelineStage:
                 a, b = self.mitigation.spike_coefficients(m, self.delay)
             self._prev_weights[pid] = p.data
             update = a * v if b == 0.0 else a * v + b * g
-            p.data = p.data - self.lr * update
+            new_w = p.data - self.lr * update
+            # bf16 stores weights on the bf16 grid: re-truncate after
+            # every update (compute stays float32 — classic "bf16
+            # storage, fp32 accumulate" mixed precision)
+            p.data = simulate_bf16(new_w) if bf16 else new_w
             p.grad = None
         self.updates_applied += 1
         self._pending_grads = 0
@@ -360,6 +395,11 @@ class PipelineStage:
         (:meth:`PipelineExecutor.load_state_dict`) can validate *every*
         stage before mutating *any* of them: a bad checkpoint then fails
         atomically instead of leaving the engine half-loaded.
+
+        Dtypes are validated too: a float64 checkpoint loaded into a
+        float32 stage (or vice versa) is refused with the expected
+        precision mode named, instead of the silent up/down-cast that
+        would otherwise corrupt the parity contracts.
         """
         for key in ("params", "velocity", "prev_weights"):
             arrays = state[key]
@@ -375,6 +415,14 @@ class PipelineStage:
                         f"stage {self.index}: {key}[{i}] has shape "
                         f"{tuple(arr.shape)}, parameter expects "
                         f"{tuple(p.data.shape)}"
+                    )
+                if arr.dtype != p.data.dtype:
+                    raise ValueError(
+                        f"stage {self.index}: {key}[{i}] has dtype "
+                        f"{arr.dtype} but this stage runs in precision "
+                        f"mode {self.precision.mode!r} (expected "
+                        f"{p.data.dtype}) — refusing the silent cast; "
+                        "save/load state in the matching precision mode"
                     )
 
     def load_state_dict(self, state: dict) -> None:
@@ -425,9 +473,16 @@ class StageBuildSpec:
     mitigation: MitigationConfig | None = None
     always_stash: bool = False
     record_versions: bool = False
+    #: precision mode name; a spawn-rebuilt worker must cast its fresh
+    #: model exactly like the parent did, or the shipped state dict and
+    #: ring layouts would mismatch on dtype
+    precision: str | None = None
 
     def build(self) -> PipelineStage:
         model = self.model_factory()
+        policy = resolve_precision(self.precision)
+        if not policy.is_reference:
+            policy.cast_model(model)
         specs = model.stage_defs
         if not 0 <= self.index < len(specs):
             raise ValueError(
@@ -442,6 +497,7 @@ class StageBuildSpec:
             momentum=self.momentum,
             weight_decay=self.weight_decay,
             mitigation=self.mitigation,
+            precision=policy,
         )
         stage.always_stash = self.always_stash
         stage.record_versions = self.record_versions

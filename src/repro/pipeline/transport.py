@@ -27,6 +27,13 @@ one shared-memory block:
     [ head | pad ][ tail | pad ][ slot 0 ][ slot 1 ] ... [ slot k-1 ]
     slot := [ pid | start | size ][ array 0 ][ array 1 ] ...
 
+Arrays of a cache line or more are 64-byte aligned inside the slot;
+smaller arrays pack back-to-back (:func:`slot_layout`), so boundaries
+carrying several tiny tensors coalesce them into one packed region
+instead of one padded cache line each.  Slot bytes track the payload
+dtype: a float32 boundary costs half the shared memory of the float64
+reference layout.
+
 * the **producer** copies payload arrays into the next free slot
   (``np.copyto`` — one memcpy, no serialization) and publishes it by
   incrementing ``head``;
@@ -133,6 +140,27 @@ def payload_specs(payload: Sequence[np.ndarray]) -> tuple[ArraySpec, ...]:
     return tuple(ArraySpec(tuple(a.shape), str(a.dtype)) for a in payload)
 
 
+def slot_layout(arrays: Sequence[ArraySpec]) -> tuple[list[int], int]:
+    """Byte offset of each array inside one slot, and the slot's payload size.
+
+    Arrays of at least one cache line keep 64-byte alignment (their
+    bulk ``memcpy`` is what the alignment buys); smaller ones pack
+    back-to-back into the running offset, so a boundary that carries
+    several tiny tensors — biases, norm stats, scalar side-channels —
+    coalesces them into one packed region of the slot instead of
+    spending a padded cache line on each.  The returned payload size is
+    aligned so consecutive slots stay cache-line disjoint.
+    """
+    offsets: list[int] = []
+    off = 0
+    for spec in arrays:
+        if spec.nbytes >= _ALIGN:
+            off = _align(off)
+        offsets.append(off)
+        off += spec.nbytes
+    return offsets, _align(off)
+
+
 def probe_boundary_layouts(
     stages, x_packet: np.ndarray
 ) -> list[tuple[ArraySpec, ...]]:
@@ -202,19 +230,28 @@ class ShmRing:
         buf = shm.buf
         self._head = np.ndarray((1,), dtype=np.int64, buffer=buf, offset=0)
         self._tail = np.ndarray((1,), dtype=np.int64, buffer=buf, offset=_ALIGN)
+        rel_offsets, payload_bytes = slot_layout(descriptor.arrays)
+        #: bytes of one slot (meta header + packed payload region)
+        self.slot_bytes = _ALIGN + payload_bytes
         self._slot_views: list[_SlotViews] = []
         offset = 2 * _ALIGN
         for _ in range(descriptor.slots):
             meta = np.ndarray((3,), dtype=np.int64, buffer=buf, offset=offset)
-            offset += _ALIGN
-            arrays = []
-            for spec in descriptor.arrays:
-                arrays.append(
-                    np.ndarray(spec.shape, dtype=spec.dtype, buffer=buf,
-                               offset=offset)
-                )
-                offset += _align(spec.nbytes)
+            base = offset + _ALIGN
+            arrays = [
+                np.ndarray(spec.shape, dtype=spec.dtype, buffer=buf,
+                           offset=base + rel)
+                for spec, rel in zip(descriptor.arrays, rel_offsets)
+            ]
+            offset += self.slot_bytes
             self._slot_views.append(_SlotViews(meta=meta, arrays=arrays))
+        #: precomputed per-array expectations so the hot-path layout
+        #: check in _write_body compares against constants instead of
+        #: re-deriving tuples from the slot views on every send
+        self._expect = [
+            (tuple(spec.shape[1:]), int(spec.shape[0]), np.dtype(spec.dtype))
+            for spec in descriptor.arrays
+        ]
         #: consumer-local read cursor (tail <= _next <= head).  A consumer
         #: that attaches late must start at ``tail``: everything in
         #: ``[tail, head)`` was published before it arrived and is still
@@ -225,7 +262,7 @@ class ShmRing:
 
     @staticmethod
     def _block_size(arrays: Sequence[ArraySpec], slots: int) -> int:
-        slot = _ALIGN + sum(_align(a.nbytes) for a in arrays)
+        slot = _ALIGN + slot_layout(arrays)[1]
         return 2 * _ALIGN + slots * slot
 
     @classmethod
@@ -320,11 +357,13 @@ class ShmRing:
                 f"ring {self.label!r}: payload has {len(payload)} arrays, "
                 f"layout expects {len(slot.arrays)}"
             )
-        for buf_arr, arr in zip(slot.arrays, payload):
+        for (tail_shape, max_width, dtype), buf_arr, arr in zip(
+            self._expect, slot.arrays, payload
+        ):
             if (
-                arr.shape[1:] != buf_arr.shape[1:]
-                or arr.shape[0] > buf_arr.shape[0]
-                or arr.dtype != buf_arr.dtype
+                arr.shape[1:] != tail_shape
+                or arr.shape[0] > max_width
+                or arr.dtype != dtype
             ):
                 raise TransportError(
                     f"ring {self.label!r}: array {arr.shape}/{arr.dtype} does "
@@ -399,6 +438,11 @@ class ShmRing:
     def outstanding(self) -> int:
         """Received-but-unreleased slots held by the consumer."""
         return self._next - int(self._tail[0])
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the backing shared-memory block."""
+        return int(self._shm.size)
 
     # -- teardown -----------------------------------------------------------
 

@@ -1,0 +1,30 @@
+"""Mixed-precision policies for training and serving.
+
+* :mod:`~repro.precision.policy` — :class:`PrecisionPolicy` (float64
+  reference / float32 / simulated bf16 / serving-only int8), the bf16
+  grid simulation, and per-tensor int8 quantization.
+* :mod:`~repro.precision.scaler` — :class:`LossScaler`, dynamic loss
+  scaling with bit-neutral overflow skip.
+
+Thread a policy through any engine with ``precision="float32"`` (or a
+:class:`PrecisionPolicy`) — see the "Precision modes" section of the
+README and ``examples/mixed_precision.py``.
+"""
+
+from repro.precision.policy import (
+    PRECISION_MODES,
+    PrecisionPolicy,
+    quantize_int8,
+    resolve_precision,
+    simulate_bf16,
+)
+from repro.precision.scaler import LossScaler
+
+__all__ = [
+    "PRECISION_MODES",
+    "PrecisionPolicy",
+    "LossScaler",
+    "quantize_int8",
+    "resolve_precision",
+    "simulate_bf16",
+]

@@ -1,0 +1,110 @@
+"""Dynamic loss scaling with overflow skip-and-rescale.
+
+Reduced-precision gradients underflow long before float64 ones do, so
+mixed-precision training multiplies the loss by a large power of two
+before backprop and divides the gradients by the same factor at update
+time.  Powers of two only touch the exponent — scaling and unscaling
+are *exact* in floating point — so a run that never overflows follows
+the unscaled trajectory bit for bit (within the storage precision).
+
+The scale is adapted the standard way (cf. torch.cuda.amp.GradScaler,
+Lightning's precision plugins):
+
+* any non-finite gradient ⇒ the step is **skipped entirely** (weights
+  and velocity stay byte-identical — pinned by a property test) and the
+  scale is multiplied by ``backoff_factor``;
+* ``growth_interval`` consecutive good steps ⇒ the scale is multiplied
+  by ``growth_factor``.
+
+:class:`LossScaler` is deliberately engine-agnostic: it owns nothing
+but the scale state.  The caller multiplies the loss (or seeds the
+backward with ``scale * dL``), and :meth:`repro.optim.sgd.SGDM.step`
+does the unscale + finiteness check + skip when constructed with a
+scaler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["LossScaler"]
+
+
+class LossScaler:
+    """Dynamic loss-scale state machine (scale is always a power of 2)."""
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**15,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 200,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ):
+        if init_scale <= 0:
+            raise ValueError(f"init_scale must be positive, got {init_scale}")
+        if growth_factor <= 1.0:
+            raise ValueError(
+                f"growth_factor must be > 1, got {growth_factor}"
+            )
+        if not 0.0 < backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be in (0, 1), got {backoff_factor}"
+            )
+        if growth_interval < 1:
+            raise ValueError(
+                f"growth_interval must be >= 1, got {growth_interval}"
+            )
+        self.scale = float(init_scale)
+        self.growth_factor = float(growth_factor)
+        self.backoff_factor = float(backoff_factor)
+        self.growth_interval = int(growth_interval)
+        self.min_scale = float(min_scale)
+        self.max_scale = float(max_scale)
+        self._good_steps = 0
+        self.overflow_skips = 0
+
+    @staticmethod
+    def found_overflow(grads: Iterable[np.ndarray | None]) -> bool:
+        """True if any gradient carries a non-finite value."""
+        for g in grads:
+            if g is not None and not np.all(np.isfinite(g)):
+                return True
+        return False
+
+    def update(self, overflow: bool) -> None:
+        """Advance the state machine after one (possibly skipped) step."""
+        if overflow:
+            self.overflow_skips += 1
+            self._good_steps = 0
+            self.scale = max(
+                self.min_scale, self.scale * self.backoff_factor
+            )
+        else:
+            self._good_steps += 1
+            if self._good_steps >= self.growth_interval:
+                self._good_steps = 0
+                self.scale = min(
+                    self.max_scale, self.scale * self.growth_factor
+                )
+
+    def state_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "good_steps": self._good_steps,
+            "overflow_skips": self.overflow_skips,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.scale = float(state["scale"])
+        self._good_steps = int(state["good_steps"])
+        self.overflow_skips = int(state["overflow_skips"])
+
+    def __repr__(self) -> str:
+        return (
+            f"LossScaler(scale={self.scale:g}, "
+            f"overflow_skips={self.overflow_skips})"
+        )

@@ -368,7 +368,13 @@ def _make_http_server(
                     },
                 )
             elif self.path == "/stats":
-                self._reply(200, pipeline_server.stats.snapshot())
+                self._reply(
+                    200,
+                    {
+                        **pipeline_server.stats.snapshot(),
+                        "precision": pipeline_server.session.precision.mode,
+                    },
+                )
             else:
                 self._reply(404, {"error": f"unknown path {self.path}"})
 
@@ -379,7 +385,7 @@ def _make_http_server(
             try:
                 length = int(self.headers.get("Content-Length", 0))
                 payload = json.loads(self.rfile.read(length) or b"{}")
-                x = np.asarray(payload["x"], dtype=np.float64)
+                x = np.asarray(payload["x"], dtype=pipeline_server.session.dtype)
             except (ValueError, KeyError, TypeError) as exc:
                 self._reply(400, {"error": f"bad request body: {exc!r}"})
                 return

@@ -55,6 +55,7 @@ from repro.pipeline.inference import (
 )
 from repro.pipeline.schedule import InferenceSchedule
 from repro.pipeline.stage import PipelineStage
+from repro.precision import resolve_precision
 from repro.tensor.tensor import Tensor, no_grad
 
 SERVE_BACKENDS = ("sim", "threaded", "process")
@@ -87,6 +88,15 @@ class InferenceSession:
     model_factory:
         Spawn-safe rebuild recipe, required for ``process`` on
         non-Linux hosts (mirrors the training runtime's contract).
+    precision:
+        Serving precision mode (``"float64"`` / ``"float32"`` /
+        ``"bf16"`` / ``"int8"`` or a
+        :class:`~repro.precision.PrecisionPolicy`).  A reduced mode
+        casts the model's weights **once** here — quantizing for int8 —
+        and flips the session's input dtype to the mode's compute dtype,
+        so ring slots, request parsing and the forward all run on the
+        reduced grid.  ``GET /stats`` of a server wrapping the session
+        reports the active mode.
     """
 
     def __init__(
@@ -100,6 +110,7 @@ class InferenceSession:
         stall_timeout: float = DEFAULT_INFER_TIMEOUT,
         model_factory: Callable[[], StageGraphModel] | None = None,
         start_method: str | None = None,
+        precision=None,
     ):
         if runtime not in SERVE_BACKENDS:
             raise ValueError(
@@ -117,7 +128,14 @@ class InferenceSession:
         self.sample_shape = (
             None if sample_shape is None else tuple(sample_shape)
         )
-        self.dtype = np.dtype(dtype)
+        self.precision = resolve_precision(precision)
+        if not self.precision.is_reference:
+            # cast once at session creation (int8 quantizes here); the
+            # fingerprint below hashes the weights actually served
+            self.precision.cast_model(model)
+            self.dtype = np.dtype(self.precision.compute_dtype)
+        else:
+            self.dtype = np.dtype(dtype)
         self.stall_timeout = float(stall_timeout)
         self.model_factory = model_factory
         self.start_method = start_method
@@ -125,7 +143,9 @@ class InferenceSession:
         # mitigation); parameters are shared with the model, so the
         # weights a training engine just produced are served in place
         self.stages = [
-            PipelineStage(i, spec, len(specs), lr=0.0)
+            PipelineStage(
+                i, spec, len(specs), lr=0.0, precision=self.precision
+            )
             for i, spec in enumerate(specs)
         ]
         #: SHA-256 over the frozen parameters at session creation — the
@@ -194,7 +214,7 @@ class InferenceSession:
     ) -> InferenceRunStats:
         """Run one batch through the pipeline, micro-batched at
         ``micro_batch`` (defaulting to the session width)."""
-        X = np.asarray(X)
+        X = self.precision.cast_array(X)
         self._resolve_shape(X)
         width = self.micro_batch if micro_batch is None else int(micro_batch)
         return infer_batch(
@@ -214,7 +234,7 @@ class InferenceSession:
         """Offline batched forward over the **same packet decomposition**
         the pipeline would use — the bit-exactness reference of the
         serving parity contract."""
-        X = np.asarray(X)
+        X = self.precision.cast_array(X)
         width = self.micro_batch if micro_batch is None else int(micro_batch)
         chunks = []
         with modules_eval_mode([self.model]), no_grad():
@@ -247,5 +267,6 @@ class InferenceSession:
         return (
             f"InferenceSession({self.model.name}, runtime={self.runtime}, "
             f"stages={self.num_stages}, micro_batch={self.micro_batch}, "
+            f"precision={self.precision.mode}, "
             f"fingerprint={self.fingerprint[:12]}...)"
         )

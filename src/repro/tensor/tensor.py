@@ -308,6 +308,21 @@ def _ensure_tensor(x) -> Tensor:
     return x if isinstance(x, Tensor) else Tensor(x)
 
 
+def _ensure_operands(a, b) -> tuple[Tensor, Tensor]:
+    """Coerce a binary op's operands, promoting bare python scalars
+    *weakly*: an int/float adopts the other operand's dtype (NumPy's own
+    scalar rule) instead of minting a float64 0-d array that would drag
+    a float32 tensor up to float64.  Exact for float64 tensors — python
+    floats are float64 — so the reference path is unchanged; this is
+    what keeps reduced-precision activations on their grid through
+    scalar ops like ``var + eps`` or ``x * 0.5``."""
+    if type(b) in (bool, int, float) and isinstance(a, Tensor):
+        return a, Tensor(np.asarray(b, dtype=a.data.dtype))
+    if type(a) in (bool, int, float) and isinstance(b, Tensor):
+        return Tensor(np.asarray(a, dtype=b.data.dtype)), b
+    return _ensure_tensor(a), _ensure_tensor(b)
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` over broadcasted axes back to ``shape``."""
     if grad.shape == shape:
@@ -328,7 +343,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 def add(a, b) -> Tensor:
     """Elementwise/broadcasting addition."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    a, b = _ensure_operands(a, b)
     out_data = a.data + b.data
 
     def _bw(g: np.ndarray) -> None:
@@ -340,7 +355,7 @@ def add(a, b) -> Tensor:
 
 def sub(a, b) -> Tensor:
     """Elementwise/broadcasting subtraction."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    a, b = _ensure_operands(a, b)
     out_data = a.data - b.data
 
     def _bw(g: np.ndarray) -> None:
@@ -352,7 +367,7 @@ def sub(a, b) -> Tensor:
 
 def mul(a, b) -> Tensor:
     """Elementwise/broadcasting multiplication."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    a, b = _ensure_operands(a, b)
     out_data = a.data * b.data
 
     def _bw(g: np.ndarray) -> None:
@@ -365,7 +380,7 @@ def mul(a, b) -> Tensor:
 
 def div(a, b) -> Tensor:
     """Elementwise/broadcasting division."""
-    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    a, b = _ensure_operands(a, b)
     out_data = a.data / b.data
 
     def _bw(g: np.ndarray) -> None:
