@@ -122,10 +122,12 @@ class SGDM:
                 scaler.update(True)
                 self.zero_grad()
                 return
-            scaler.update(False)
-            # scaler.update(False) may have grown the scale; the grads
-            # in hand were produced under the pre-update scale
+            # the grads in hand were produced under the *current* scale;
+            # capture its inverse before update(False) can grow it on a
+            # growth tick, else that step's update is divided by
+            # growth_factor too much
             inv_scale = 1.0 / scaler.scale if scaler.scale != 0 else 1.0
+            scaler.update(False)
         m = self.momentum
         masters = self._master
         for p in self.params:
@@ -220,6 +222,16 @@ class SGDM:
                 "state dict master-weight presence does not match the "
                 f"optimizer (precision mode {self.precision.mode!r})"
             )
+        if ("loss_scaler" in state) != (self.loss_scaler is not None):
+            raise ValueError(
+                "state dict loss-scaler presence does not match the "
+                "optimizer (saved "
+                f"{'with' if 'loss_scaler' in state else 'without'} a "
+                "scaler, optimizer constructed "
+                f"{'with' if self.loss_scaler is not None else 'without'} "
+                "one) — rebuild the optimizer with the matching "
+                "loss_scaler configuration"
+            )
         self.lr = state["lr"]
         self.momentum = state["momentum"]
         self.weight_decay = state["weight_decay"]
@@ -230,5 +242,5 @@ class SGDM:
             for p, w in zip(self.params, masters):
                 self._master[id(p)] = w.astype(np.float64, copy=True)
                 p.data = self.precision.quantize(self._master[id(p)])
-        if self.loss_scaler is not None and "loss_scaler" in state:
+        if self.loss_scaler is not None:
             self.loss_scaler.load_state_dict(state["loss_scaler"])

@@ -87,7 +87,11 @@ class PipelineStage:
         if precision is None and self.params:
             # infer the mode from the (possibly pre-cast) parameters so
             # error messages and re-quantization stay correct even when
-            # the caller cast the model manually
+            # the caller cast the model manually.  Only float32 is
+            # inferable from dtype alone: bf16-grid and int8-grid arrays
+            # *are* float32 arrays, so a manually bf16/int8-cast model
+            # must pass precision= explicitly or it gets float32
+            # semantics (no bf16 re-truncation after updates).
             inferred = str(self.params[0].data.dtype)
             precision = inferred if inferred in ("float32",) else None
         self.precision = resolve_precision(precision)

@@ -196,6 +196,13 @@ class PrecisionPolicy:
         / dequantized int8 grid); floating-point buffers (BatchNorm
         running stats) are cast to the compute dtype, integer buffers
         (sample counters) are left alone.  Returns the model.
+
+        Note a manually cast model is **not** self-describing: bf16-grid
+        and int8-grid arrays have float32 dtype, so downstream
+        consumers (``PipelineStage``, the engines) cannot recover the
+        mode from the weights — always pass the same ``precision=`` to
+        them explicitly, or bf16 models silently lose re-truncation
+        after updates.
         """
         if self.mode == "float64":
             return model

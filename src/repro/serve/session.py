@@ -84,7 +84,10 @@ class InferenceSession:
         backend to preallocate rings.  ``sample_shape`` may be omitted
         for batch-only use (the first ``infer`` call infers it from
         its input), but :meth:`open_stream` — and therefore serving —
-        requires it to be known and raises otherwise.
+        requires it to be known and raises otherwise.  ``dtype``
+        defaults to float64 and may only be passed in the reference
+        precision mode: a reduced mode owns the session dtype (its
+        compute dtype) and an explicit conflicting ``dtype=`` raises.
     model_factory:
         Spawn-safe rebuild recipe, required for ``process`` on
         non-Linux hosts (mirrors the training runtime's contract).
@@ -106,7 +109,7 @@ class InferenceSession:
         micro_batch: int = 8,
         capacity: int = DEFAULT_STREAM_CAPACITY,
         sample_shape: Sequence[int] | None = None,
-        dtype="float64",
+        dtype=None,
         stall_timeout: float = DEFAULT_INFER_TIMEOUT,
         model_factory: Callable[[], StageGraphModel] | None = None,
         start_method: str | None = None,
@@ -130,12 +133,24 @@ class InferenceSession:
         )
         self.precision = resolve_precision(precision)
         if not self.precision.is_reference:
+            # a reduced mode owns the session dtype; refuse an explicit
+            # dtype= rather than silently overriding it
+            if dtype is not None and (
+                np.dtype(dtype) != self.precision.compute_dtype
+            ):
+                raise ValueError(
+                    f"dtype={np.dtype(dtype).name!r} conflicts with "
+                    f"precision mode {self.precision.mode!r} (compute "
+                    f"dtype {self.precision.compute_dtype.name}) — drop "
+                    "the dtype argument; the precision mode sets the "
+                    "session dtype"
+                )
             # cast once at session creation (int8 quantizes here); the
             # fingerprint below hashes the weights actually served
             self.precision.cast_model(model)
             self.dtype = np.dtype(self.precision.compute_dtype)
         else:
-            self.dtype = np.dtype(dtype)
+            self.dtype = np.dtype("float64" if dtype is None else dtype)
         self.stall_timeout = float(stall_timeout)
         self.model_factory = model_factory
         self.start_method = start_method

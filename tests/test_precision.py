@@ -205,6 +205,28 @@ class TestLossScaler:
                 ps.data, pu.data, rtol=1e-6, atol=1e-7
             )
 
+    def test_scaled_update_matches_unscaled_across_growth_tick(self):
+        """The unscale factor on a growth tick is the *pre-growth* scale
+        the gradients were actually produced under — growing the scale
+        mid-step must not shrink that step's update by growth_factor."""
+        scaler = LossScaler(init_scale=2.0**4, growth_interval=2)
+        params_s, opt_s = _toy_sgdm("float32", scaler)
+        params_u, opt_u = _toy_sgdm("float32", None)
+        rng = np.random.default_rng(13)
+        for _ in range(5):  # crosses growth ticks at steps 2 and 4
+            live_scale = scaler.scale
+            for ps, pu in zip(params_s, params_u):
+                g = rng.normal(size=ps.data.shape).astype(np.float32)
+                ps.grad = g * np.float32(live_scale)
+                pu.grad = g.copy()
+            opt_s.step()
+            opt_u.step()
+        assert scaler.scale > 2.0**4  # the scale really did grow
+        for ps, pu in zip(params_s, params_u):
+            np.testing.assert_allclose(
+                ps.data, pu.data, rtol=1e-6, atol=1e-7
+            )
+
     def test_growth_after_interval(self):
         scaler = LossScaler(init_scale=2.0, growth_interval=3)
         for _ in range(3):
@@ -339,6 +361,29 @@ class TestRejection:
         ]
         with pytest.raises(ValueError, match="precision mode 'float32'"):
             opt.load_state_dict(state)
+
+    def test_sgdm_rejects_scaler_presence_mismatch(self):
+        _, opt_plain = _toy_sgdm("float32", None)
+        _, opt_scaled = _toy_sgdm("float32", LossScaler())
+        with pytest.raises(ValueError, match="loss-scaler presence"):
+            opt_scaled.load_state_dict(opt_plain.state_dict())
+        with pytest.raises(ValueError, match="loss-scaler presence"):
+            opt_plain.load_state_dict(opt_scaled.state_dict())
+
+    def test_session_rejects_conflicting_dtype(self):
+        from repro.serve import InferenceSession
+
+        with pytest.raises(ValueError, match="conflicts with"):
+            InferenceSession(
+                FACTORY(), micro_batch=4, sample_shape=(3, 8, 8),
+                dtype=np.float64, precision="float32",
+            )
+        # redundant-but-consistent dtype is fine
+        session = InferenceSession(
+            FACTORY(), micro_batch=4, sample_shape=(3, 8, 8),
+            dtype=np.float32, precision="float32",
+        )
+        assert session.dtype == np.float32
 
     def test_stage_rejects_dtype_mismatched_state(self):
         m64 = FACTORY()
