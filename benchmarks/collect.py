@@ -76,6 +76,16 @@ def _headline(name: str, p: dict[str, Any]) -> str:
                 for key in ("p99_ms", "p95_ms", "latency_p99_ms"):
                     if key in r:
                         return f"{r.get('case', 'slo')}: {key} {_fmt(float(r[key]))}"
+        if name == "BENCH_fleet":
+            acc = p["acceptance"]
+            return (
+                f"fleet sustains c={acc['fleet_max_sustained']} vs "
+                f"single c={acc['single_max_sustained']} "
+                f"(interactive p99 <= "
+                f"{_fmt(float(p['interactive_deadline_ms']), '{:.0f}')} ms, "
+                f"across rolling hot-swap, "
+                f"{acc['dropped']} dropped / {acc['duplicates']} dup)"
+            )
     except (KeyError, TypeError, ValueError, IndexError):
         pass  # fall through to the generic summary
     for key in ("rows", "comparison_rows", "parity_rows", "scaling"):

@@ -14,6 +14,8 @@ Usage::
         --resume ckpts/pb.ckpt
     python -m repro.experiments serving --serve-backend process \
         --serve-max-batch 8 --serve-deadline-ms 2
+    python -m repro.experiments serving_fleet --fleet-replicas 3 \
+        --fleet-backend process --fleet-interactive-pct 70
 """
 
 from __future__ import annotations
@@ -122,6 +124,27 @@ def main(argv: list[str] | None = None) -> int:
         "load)",
     )
     parser.add_argument(
+        "--fleet-replicas", metavar="R", type=int, default=None,
+        help="serving_fleet experiment: number of serving replicas "
+        "behind the router",
+    )
+    parser.add_argument(
+        "--fleet-backend", choices=["sim", "threaded", "process"],
+        default=None,
+        help="serving_fleet experiment: pipeline backend each replica "
+        "runs on",
+    )
+    parser.add_argument(
+        "--fleet-requests", metavar="N", type=int, default=None,
+        help="serving_fleet experiment: closed-loop requests to drive "
+        "through the fleet (spanning the rolling weight reload)",
+    )
+    parser.add_argument(
+        "--fleet-interactive-pct", metavar="PCT", type=float, default=None,
+        help="serving_fleet experiment: percentage of requests in the "
+        "interactive SLO class (the rest are batch)",
+    )
+    parser.add_argument(
         "--save", action="store_true", help="persist to results/<id>.json"
     )
     args = parser.parse_args(argv)
@@ -160,6 +183,14 @@ def main(argv: list[str] | None = None) -> int:
         overrides["serve_deadline_ms"] = args.serve_deadline_ms
     if args.serve_concurrency is not None:
         overrides["serve_concurrency"] = args.serve_concurrency
+    if args.fleet_replicas is not None:
+        overrides["fleet_replicas"] = args.fleet_replicas
+    if args.fleet_backend is not None:
+        overrides["fleet_backend"] = args.fleet_backend
+    if args.fleet_requests is not None:
+        overrides["fleet_requests"] = args.fleet_requests
+    if args.fleet_interactive_pct is not None:
+        overrides["fleet_interactive_pct"] = args.fleet_interactive_pct
     payload = run_experiment(args.experiment, scale, **overrides)
     _print_payload(args.experiment, payload)
     if args.save:

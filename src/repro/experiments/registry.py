@@ -122,6 +122,14 @@ EXPERIMENTS: dict[str, tuple[Callable[..., dict], str]] = {
         "micro-batching (supports --serve-backend / --serve-requests / "
         "--serve-max-batch / --serve-deadline-ms / --serve-concurrency)",
     ),
+    "serving_fleet": (
+        extensions.serving_fleet,
+        "Extension — multi-replica serving fleet: SLO-class admission "
+        "(interactive vs batch), least-loaded dispatch, and a rolling "
+        "zero-downtime weight hot-swap under live mixed load (supports "
+        "--fleet-replicas / --fleet-backend / --fleet-requests / "
+        "--fleet-interactive-pct)",
+    ),
 }
 
 

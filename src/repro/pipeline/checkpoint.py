@@ -268,6 +268,37 @@ def model_fingerprint(model) -> str:
     return h.hexdigest()
 
 
+def checkpoint_fingerprint(ckpt, dtype="float64") -> str:
+    """The :func:`model_fingerprint` a model *will* have after
+    :func:`restore_inference_weights` loads ``ckpt`` into it — computed
+    straight from the checkpoint payload, no model required.
+
+    This is the fleet hot-swap verification handle: the router computes
+    the expected fingerprint from the checkpoint once, then checks every
+    reloaded replica's session fingerprint against it before letting the
+    replica rejoin — a replica serving the wrong weights can never
+    silently re-enter rotation.  ``dtype`` is the target model's
+    parameter dtype (the restore casts into it; ``float64`` for the
+    reference precision every training engine checkpoints in).
+    """
+    if isinstance(ckpt, (str, os.PathLike)):
+        ckpt = load_checkpoint(os.fspath(ckpt))
+    engine_state = ckpt.get("engine")
+    if not isinstance(engine_state, dict) or "stages" not in engine_state:
+        raise CheckpointError(
+            "checkpoint payload carries no engine state to fingerprint"
+        )
+    dtype = np.dtype(dtype)
+    h = hashlib.sha256()
+    for st in engine_state["stages"]:
+        for arr in st.get("params", []):
+            arr = np.ascontiguousarray(np.asarray(arr).astype(dtype))
+            h.update(str(arr.dtype).encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # the durable-run driver
 # ---------------------------------------------------------------------------

@@ -22,7 +22,12 @@ this package is the same claim applied to serving (the ROADMAP's
   latency, queue wait vs pipeline time, drop-proof counters;
 * :mod:`~repro.serve.loadgen` — closed-loop load generator plus the
   sequential single-request baseline the serving benchmark
-  (``benchmarks/bench_serving.py``) compares against.
+  (``benchmarks/bench_serving.py``) compares against;
+* :mod:`~repro.serve.fleet` — multi-replica serving:
+  :class:`~repro.serve.fleet.router.FleetRouter` (least-loaded
+  dispatch + SLO-class admission + fleet-id accounting),
+  queue-wait-driven autoscaling, and zero-downtime rolling weight
+  hot-swap from PR-4 checkpoints.
 
 The engine-level forward-only machinery (schedules, streams, rings)
 lives in :mod:`repro.pipeline.inference` and
@@ -30,10 +35,21 @@ lives in :mod:`repro.pipeline.inference` and
 """
 
 from repro.serve.batcher import DynamicBatcher, Overloaded, PendingRequest
+from repro.serve.fleet import (
+    AutoscalePolicy,
+    FleetRouter,
+    ReplicaSpec,
+    SLOClass,
+    default_slo_classes,
+    rolling_reload,
+)
 from repro.serve.loadgen import (
+    ClassedLoadResult,
     LoadGenResult,
     SequentialServer,
+    assign_classes,
     count_bad_outputs,
+    run_classed_loop,
     run_closed_loop,
 )
 from repro.serve.server import PipelineServer
@@ -44,6 +60,15 @@ __all__ = [
     "DynamicBatcher",
     "Overloaded",
     "PendingRequest",
+    "AutoscalePolicy",
+    "FleetRouter",
+    "ReplicaSpec",
+    "SLOClass",
+    "default_slo_classes",
+    "rolling_reload",
+    "ClassedLoadResult",
+    "assign_classes",
+    "run_classed_loop",
     "LoadGenResult",
     "SequentialServer",
     "count_bad_outputs",

@@ -21,12 +21,27 @@ op amortizes per-op overhead across ``B`` requests.  The
     :mod:`repro.pipeline.inference`).  For guaranteed single-request
     packets use ``max_batch=1``.
 
+``max_wait`` is also overridable **per request** (``submit(x,
+max_wait=...)``), which is how the fleet's SLO classes price their
+coalescing slack: a batch-class request tolerates the full deadline, an
+interactive one passes ``0`` and forces whatever is queued (including
+batch requests — they yield their slack) to dispatch with it
+immediately.  The flush point is therefore the *minimum* deadline over
+the queued requests, not the oldest request's age.
+
 Admission is **bounded and loud**: at most ``max_queue`` requests may be
 pending, and a submit beyond that raises :class:`Overloaded` — the
 explicit-backpressure contract (reject, never grow without bound, never
 silently drop).  Request ids are monotone, assigned at admission, and
 every admitted request is dispatched exactly once (or failed loudly at
 close); the serving smoke test pins all three properties.
+
+Shutdown comes in two strengths: :meth:`set_draining` stops admission
+(new submits raise :class:`Overloaded`) while the consumer keeps
+dispatching what was admitted — the state a replica sits in while the
+fleet router hot-swaps its weights — and :meth:`close` is terminal
+(stops admission for good *and* releases a blocked consumer so the
+queue can drain to empty).
 """
 
 from __future__ import annotations
@@ -56,6 +71,11 @@ class PendingRequest:
     t_submit: float = 0.0
     #: monotonic seconds when the batcher dispatched it into a packet
     t_dispatch: float = 0.0
+    #: monotonic seconds by which this request wants out of the queue
+    #: (``t_submit`` + its effective ``max_wait``)
+    t_deadline: float = 0.0
+    #: SLO class tag (``None`` for untagged single-server traffic)
+    slo_class: str | None = None
 
 
 class DynamicBatcher:
@@ -82,27 +102,47 @@ class DynamicBatcher:
         self._queue: list[PendingRequest] = []
         self._ids = itertools.count()
         self._closed = False
+        self._draining = False
         self.rejected = 0
         self.admitted = 0
 
     # -- producer side ------------------------------------------------------
 
-    def submit(self, x: np.ndarray) -> PendingRequest:
+    def submit(
+        self,
+        x: np.ndarray,
+        max_wait: float | None = None,
+        slo_class: str | None = None,
+    ) -> PendingRequest:
         """Admit one request; raises :class:`Overloaded` when the queue
-        is full or the batcher is closed."""
+        is full or the batcher is closed/draining.
+
+        ``max_wait`` overrides the batcher-level coalescing deadline for
+        this request only (``0`` = dispatch the next packet immediately,
+        pulling any already-queued requests along); ``slo_class`` rides
+        on the :class:`PendingRequest` for per-class accounting."""
+        if max_wait is not None and max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
         with self._cond:
             if self._closed:
                 self.rejected += 1
                 raise Overloaded("server is shutting down")
+            if self._draining:
+                self.rejected += 1
+                raise Overloaded("server is draining")
             if len(self._queue) >= self.max_queue:
                 self.rejected += 1
                 raise Overloaded(
                     f"admission queue full ({self.max_queue} pending)"
                 )
+            now = time.monotonic()
+            wait = self.max_wait if max_wait is None else float(max_wait)
             req = PendingRequest(
                 request_id=next(self._ids),
                 x=np.asarray(x),
-                t_submit=time.monotonic(),
+                t_submit=now,
+                t_deadline=now + wait,
+                slo_class=slo_class,
             )
             self._queue.append(req)
             self.admitted += 1
@@ -117,22 +157,24 @@ class DynamicBatcher:
     # -- consumer side ------------------------------------------------------
 
     def next_batch(self, timeout: float = 0.1) -> list[PendingRequest]:
-        """Block until a packet is ready (full batch, or the oldest
-        request's ``max_wait`` deadline expired), then return it —
+        """Block until a packet is ready (full batch, or some queued
+        request's coalescing deadline expired), then return it —
         ``[]`` on timeout or when closed with nothing queued.
 
         Dispatch order is FIFO: packets are consecutive admission-order
-        slices, so request ids inside and across packets are monotone.
+        slices, so request ids inside and across packets are monotone —
+        a tight per-request deadline never reorders, it only flushes
+        everything admitted before it sooner.
         """
         deadline = time.monotonic() + timeout
         with self._cond:
             while True:
                 now = time.monotonic()
                 if self._queue:
-                    oldest_age = now - self._queue[0].t_submit
+                    flush_at = min(r.t_deadline for r in self._queue)
                     if (
                         len(self._queue) >= self.max_batch
-                        or oldest_age >= self.max_wait
+                        or now >= flush_at
                         or self._closed
                     ):
                         batch = self._queue[: self.max_batch]
@@ -140,11 +182,9 @@ class DynamicBatcher:
                         for req in batch:
                             req.t_dispatch = now
                         return batch
-                    # wake at whichever comes first: the oldest
-                    # request's deadline or the caller's timeout
-                    wait = min(
-                        self.max_wait - oldest_age, deadline - now
-                    )
+                    # wake at whichever comes first: the earliest
+                    # queued deadline or the caller's timeout
+                    wait = min(flush_at - now, deadline - now)
                 else:
                     if self._closed or now >= deadline:
                         return []
@@ -153,6 +193,19 @@ class DynamicBatcher:
                     # not ready and the caller's timeout has expired
                     return []
                 self._cond.wait(wait)
+
+    def set_draining(self, draining: bool = True) -> None:
+        """Toggle the draining state: while draining, ``submit`` raises
+        :class:`Overloaded` but ``next_batch`` keeps dispatching what
+        was already admitted (nothing is dropped).  Reversible — a
+        replica that finished a weight reload re-opens admission."""
+        with self._cond:
+            self._draining = bool(draining)
+            self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def close(self) -> None:
         """Stop admitting; wake the consumer so it can drain what's

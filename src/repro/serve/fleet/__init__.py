@@ -1,0 +1,51 @@
+"""``repro.serve.fleet`` — multi-replica serving on top of
+:mod:`repro.serve`.
+
+One :class:`~repro.serve.server.PipelineServer` is one replica; this
+package runs N of them behind a single front door:
+
+* :mod:`~repro.serve.fleet.router` — :class:`FleetRouter`:
+  queue-depth-aware least-loaded dispatch, fleet-id accounting that
+  proves no request is dropped or duplicated (including across weight
+  swaps), and an HTTP front door mirroring the single-server wire
+  shapes;
+* :mod:`~repro.serve.fleet.admission` — SLO classes (``interactive``
+  vs ``batch``) priced against the
+  :class:`~repro.serve.batcher.DynamicBatcher` knobs: batch traffic
+  yields its coalescing slack to interactive, interactive gets
+  :class:`~repro.serve.batcher.Overloaded` pushback first;
+* :mod:`~repro.serve.fleet.autoscaler` — queue-wait-p95-driven scale
+  out, idle-grace drain-and-retire scale in, bounded by
+  ``min/max_replicas``;
+* :mod:`~repro.serve.fleet.reload` — :func:`rolling_reload`:
+  zero-downtime weight hot-swap from a PR-4 checkpoint, one replica at
+  a time, fingerprint-verified.
+"""
+
+from repro.serve.fleet.admission import (
+    AdmissionController,
+    SLOClass,
+    default_slo_classes,
+)
+from repro.serve.fleet.autoscaler import AutoscalePolicy, FleetAutoscaler
+from repro.serve.fleet.reload import ReloadReport, rolling_reload
+from repro.serve.fleet.router import (
+    FleetRequest,
+    FleetRouter,
+    Replica,
+    ReplicaSpec,
+)
+
+__all__ = [
+    "AdmissionController",
+    "SLOClass",
+    "default_slo_classes",
+    "AutoscalePolicy",
+    "FleetAutoscaler",
+    "ReloadReport",
+    "rolling_reload",
+    "FleetRequest",
+    "FleetRouter",
+    "Replica",
+    "ReplicaSpec",
+]

@@ -78,7 +78,14 @@ class PipelineServer:
             max_batch=max_batch, max_wait=max_wait, max_queue=max_queue
         )
         self.stats = ServingStats()
+        self.stats.set_gauge_source(
+            lambda: {
+                "pending": self.batcher.pending,
+                "in_flight": self.in_flight,
+            }
+        )
         self.result_timeout = float(result_timeout)
+        self._ready_reason = "serving"
         self._stream = None
         self._pending: dict[int, list[PendingRequest]] = {}
         self._pending_lock = threading.Lock()
@@ -170,14 +177,69 @@ class PipelineServer:
         self.stop()
         return False
 
+    # -- readiness (drain state for rolling weight swaps) --------------------
+
+    @property
+    def ready(self) -> bool:
+        """Readiness, as distinct from liveness: a ready server admits
+        new traffic; a draining one only finishes what it admitted.
+        The fleet router excludes not-ready replicas from dispatch."""
+        return (
+            self._started
+            and not self._stopped
+            and self._error is None
+            and not self.batcher.draining
+        )
+
+    @property
+    def ready_reason(self) -> str:
+        if self._error is not None:
+            return f"failed: {self._error!r}"
+        if self._stopped:
+            return "stopped"
+        if not self._started:
+            return "not started"
+        if self.batcher.draining:
+            return self._ready_reason
+        return "serving"
+
+    def mark_draining(self, reason: str = "draining") -> None:
+        """Stop admitting new requests (``submit`` raises
+        :class:`Overloaded`; ``/readyz`` reports 503) while every
+        already-admitted request still completes.  Reversible with
+        :meth:`mark_ready` — though a weight hot-swap instead retires
+        this server once drained and starts a fresh one."""
+        self._ready_reason = reason
+        self.batcher.set_draining(True)
+
+    def mark_ready(self) -> None:
+        self._ready_reason = "serving"
+        self.batcher.set_draining(False)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests dispatched into the pipeline whose logits have not
+        come back yet (complements the batcher's ``pending`` gauge)."""
+        with self._pending_lock:
+            return sum(len(batch) for batch in self._pending.values())
+
     # -- request entry ------------------------------------------------------
 
-    def submit_request(self, x: np.ndarray) -> PendingRequest:
+    def submit_request(
+        self,
+        x: np.ndarray,
+        slo_class: str | None = None,
+        max_wait: float | None = None,
+    ) -> PendingRequest:
         """Admit one request; returns its :class:`PendingRequest`
         (monotone ``request_id`` + the Future resolving to its logits
         row).  Raises :class:`Overloaded` when the admission queue is
-        full (the backpressure contract) and re-raises a pipeline
-        failure if the stream has died."""
+        full or the server is draining (the backpressure contract) and
+        re-raises a pipeline failure if the stream has died.
+
+        ``slo_class`` tags the request through the batcher into the
+        stats; ``max_wait`` overrides the coalescing deadline for this
+        request only (the fleet's per-class slack pricing)."""
         if self._error is not None:
             raise InferenceStreamError(
                 f"serving pipeline failed: {self._error!r}"
@@ -190,9 +252,11 @@ class PipelineServer:
                 f"session's sample shape {expected}"
             )
         try:
-            return self.batcher.submit(x)
+            return self.batcher.submit(
+                x, max_wait=max_wait, slo_class=slo_class
+            )
         except Overloaded:
-            self.stats.record_rejected()
+            self.stats.record_rejected(slo_class)
             raise
 
     def submit(self, x: np.ndarray) -> Future:
@@ -271,6 +335,7 @@ class PipelineServer:
                                 pipeline_time=t_now - req.t_dispatch,
                                 latency=t_now - req.t_submit,
                                 batch_size=len(batch),
+                                slo_class=req.slo_class,
                             ),
                             t_now,
                         )
@@ -316,11 +381,16 @@ class PipelineServer:
         """Start the stdlib-socket HTTP endpoint on ``host:port`` (port
         0 = ephemeral).  Returns the bound ``(host, port)``.
 
-        * ``POST /infer`` with body ``{"x": <nested list>}`` ->
-          ``{"request_id", "logits", "latency_ms"}`` (429 when
-          overloaded, 400 on malformed input);
+        * ``POST /infer`` with body ``{"x": <nested list>}`` (optional
+          ``"class"`` SLO tag) -> ``{"request_id", "logits",
+          "latency_ms"}`` (429 when overloaded, 400 on malformed
+          input);
         * ``GET /stats`` -> :meth:`ServingStats.snapshot`;
-        * ``GET /healthz`` -> liveness + the weight fingerprint.
+        * ``GET /healthz`` -> liveness + the weight fingerprint (shape
+          unchanged since PR 5 — probes keyed on it keep working);
+        * ``GET /readyz`` -> readiness: 200 while admitting, 503 with
+          the reason + fingerprint while draining/reloading/stopped,
+          so a router health-checks replicas out during a hot-swap.
         """
         if not self._started:
             raise RuntimeError("start() the server before serve_http()")
@@ -358,6 +428,7 @@ def _make_http_server(
 
         def do_GET(self) -> None:
             if self.path == "/healthz":
+                # liveness only — response shape is stable (PR 5)
                 self._reply(
                     200,
                     {
@@ -365,6 +436,18 @@ def _make_http_server(
                         "model": pipeline_server.session.model.name,
                         "fingerprint": pipeline_server.session.fingerprint,
                         "runtime": pipeline_server.session.runtime,
+                    },
+                )
+            elif self.path == "/readyz":
+                ready = pipeline_server.ready
+                self._reply(
+                    200 if ready else 503,
+                    {
+                        "ready": ready,
+                        "reason": pipeline_server.ready_reason,
+                        "fingerprint": pipeline_server.session.fingerprint,
+                        "pending": pipeline_server.batcher.pending,
+                        "in_flight": pipeline_server.in_flight,
                     },
                 )
             elif self.path == "/stats":
@@ -386,12 +469,17 @@ def _make_http_server(
                 length = int(self.headers.get("Content-Length", 0))
                 payload = json.loads(self.rfile.read(length) or b"{}")
                 x = np.asarray(payload["x"], dtype=pipeline_server.session.dtype)
+                slo_class = payload.get("class")
+                if slo_class is not None and not isinstance(slo_class, str):
+                    raise TypeError("'class' must be a string")
             except (ValueError, KeyError, TypeError) as exc:
                 self._reply(400, {"error": f"bad request body: {exc!r}"})
                 return
             t0 = time.monotonic()
             try:
-                request = pipeline_server.submit_request(x)
+                request = pipeline_server.submit_request(
+                    x, slo_class=slo_class
+                )
                 logits = request.future.result(
                     pipeline_server.result_timeout
                 )

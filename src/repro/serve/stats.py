@@ -16,12 +16,23 @@ Every completed request contributes three measured intervals:
 (p50/p95/p99) plus counters that make dropped work impossible to miss:
 ``completed + rejected + failed`` must account for every admission
 attempt, and the serving smoke test asserts exactly that.
+
+For the fleet router two more surfaces ride on the snapshot:
+
+* **gauges** — the *current* batcher ``pending`` and in-flight request
+  count (wired by the owning server via :meth:`set_gauge_source`), the
+  queue-depth signal least-loaded dispatch and the autoscaler read;
+* **per-class accounting** — timings and rejections tagged with an SLO
+  class aggregate into per-class percentiles and
+  ``completed/rejected_by_class`` counters, which is what a per-class
+  deadline is asserted against.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -48,6 +59,11 @@ class RequestTiming:
     pipeline_time: float
     latency: float
     batch_size: int = 1
+    #: SLO class tag (``None`` for untagged single-server traffic)
+    slo_class: str | None = None
+    #: monotonic completion time, stamped by :meth:`ServingStats.record`
+    #: (lets pressure signals expire stale readings by wall clock)
+    t_done: float = 0.0
 
 
 class ServingStats:
@@ -76,6 +92,9 @@ class ServingStats:
         self._completed = 0
         self.rejected = 0
         self.failed = 0
+        self._completed_by_class: dict[str, int] = {}
+        self._rejected_by_class: dict[str, int] = {}
+        self._gauge_source: Callable[[], dict] | None = None
         self._t_first: float | None = None
         self._t_last: float | None = None
 
@@ -83,19 +102,36 @@ class ServingStats:
 
     def record(self, timing: RequestTiming, t_now: float) -> None:
         with self._lock:
+            timing.t_done = t_now
             self._timings.append(timing)
             self._completed += 1
+            if timing.slo_class is not None:
+                self._completed_by_class[timing.slo_class] = (
+                    self._completed_by_class.get(timing.slo_class, 0) + 1
+                )
             if self._t_first is None:
                 self._t_first = t_now - timing.latency
             self._t_last = t_now
 
-    def record_rejected(self) -> None:
+    def record_rejected(self, slo_class: str | None = None) -> None:
         with self._lock:
             self.rejected += 1
+            if slo_class is not None:
+                self._rejected_by_class[slo_class] = (
+                    self._rejected_by_class.get(slo_class, 0) + 1
+                )
 
     def record_failed(self) -> None:
         with self._lock:
             self.failed += 1
+
+    def set_gauge_source(self, source: Callable[[], dict] | None) -> None:
+        """Register the callable that reports the owner's *current*
+        queue gauges (``{"pending": int, "in_flight": int}``).  Called
+        by :class:`~repro.serve.server.PipelineServer` at construction;
+        a stats object without one snapshots ``None`` gauges."""
+        with self._lock:
+            self._gauge_source = source
 
     # -- reading ------------------------------------------------------------
 
@@ -110,30 +146,88 @@ class ServingStats:
         with self._lock:
             return list(self._timings)
 
+    def recent_queue_wait_p95(
+        self, last: int = 256, horizon_s: float | None = 2.0
+    ) -> float | None:
+        """p95 queue-wait over the most recent ``last`` completed
+        requests — the autoscaler's scale-out signal and the admission
+        controller's deadline-pressure estimate.  ``None`` until
+        anything has completed.
+
+        Readings older than ``horizon_s`` (by completion wall clock)
+        are **expired**: a pressure signal must decay when traffic
+        stops completing, otherwise one turbulent burst — e.g. the
+        compute hiccup of a rolling weight swap — latches the p95 above
+        an admission threshold forever and starves the very class the
+        threshold protects (rejected requests produce no completions,
+        so the window would never refresh).  Pass ``horizon_s=None``
+        for the raw completion-count window."""
+        import time as _time
+
+        cutoff = (
+            _time.monotonic() - horizon_s if horizon_s is not None else None
+        )
+        with self._lock:
+            waits = [
+                t.queue_wait
+                for t in list(self._timings)[-last:]
+                if cutoff is None or t.t_done >= cutoff
+            ]
+        if not waits:
+            return None
+        return float(np.percentile(np.asarray(waits), 95.0))
+
     def snapshot(self) -> dict:
         """Percentiles + counters as one JSON-ready dict (seconds).
         ``completed`` is cumulative; the percentile fields cover the
-        most recent ``min(completed, window)`` requests."""
+        most recent ``min(completed, window)`` requests.  ``pending`` /
+        ``in_flight`` are *instantaneous* gauges from the owning
+        server's queue (``None`` when no gauge source is wired);
+        ``per_class`` breaks the window's percentiles down by SLO
+        class for tagged traffic."""
         with self._lock:
             timings = list(self._timings)
             completed = self._completed
             rejected = self.rejected
             failed = self.failed
+            completed_by_class = dict(self._completed_by_class)
+            rejected_by_class = dict(self._rejected_by_class)
+            gauge_source = self._gauge_source
             span = (
                 (self._t_last - self._t_first)
                 if self._t_first is not None and self._t_last is not None
                 else 0.0
             )
+        gauges = {"pending": None, "in_flight": None}
+        if gauge_source is not None:
+            gauges.update(gauge_source())
         latency = _percentiles([t.latency for t in timings])
         queue_wait = _percentiles([t.queue_wait for t in timings])
         pipeline = _percentiles([t.pipeline_time for t in timings])
         batch_sizes = [t.batch_size for t in timings]
+        per_class: dict[str, dict] = {}
+        for cls in sorted(
+            {t.slo_class for t in timings if t.slo_class is not None}
+        ):
+            cls_t = [t for t in timings if t.slo_class == cls]
+            per_class[cls] = {
+                "window_filled": len(cls_t),
+                "latency_s": _percentiles([t.latency for t in cls_t]),
+                "queue_wait_s": _percentiles(
+                    [t.queue_wait for t in cls_t]
+                ),
+            }
         return {
             "completed": completed,
             "window": self.window,
             "window_filled": len(timings),
             "rejected": rejected,
             "failed": failed,
+            "pending": gauges["pending"],
+            "in_flight": gauges["in_flight"],
+            "completed_by_class": completed_by_class,
+            "rejected_by_class": rejected_by_class,
+            "per_class": per_class,
             "latency_s": latency,
             "queue_wait_s": queue_wait,
             "pipeline_s": pipeline,

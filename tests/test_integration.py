@@ -171,6 +171,7 @@ class TestExperimentRegistry:
             "ablation_bn_vs_gn", "ablation_warmup",
             "ablation_gradient_shrinking", "schedule_comparison",
             "runtime_comparison", "durable_training", "serving",
+            "serving_fleet",
             "hybrid_parallelism",
         }
         assert set(EXPERIMENTS) == expected

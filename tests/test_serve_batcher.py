@@ -118,6 +118,132 @@ class TestBackpressure:
             DynamicBatcher(max_wait=-1)
         with pytest.raises(ValueError):
             DynamicBatcher(max_queue=0)
+        b = DynamicBatcher()
+        with pytest.raises(ValueError):
+            b.submit(_x(0), max_wait=-0.5)
+
+
+class TestPerRequestDeadlines:
+    """Per-request ``max_wait`` overrides: the fleet's SLO-class slack
+    pricing rides on the flush point being the *minimum* deadline over
+    the queue, not the oldest request's age."""
+
+    def test_zero_wait_request_flushes_queued_batch_traffic(self):
+        """An interactive request (max_wait=0) arriving behind
+        long-deadline batch requests forces the whole packet out
+        immediately — batch yields its coalescing slack."""
+        b = DynamicBatcher(max_batch=8, max_wait=60.0, max_queue=64)
+        b.submit(_x(0), slo_class="batch")
+        b.submit(_x(1), slo_class="batch")
+        b.submit(_x(2), max_wait=0.0, slo_class="interactive")
+        t0 = time.monotonic()
+        batch = b.next_batch(timeout=5.0)
+        assert time.monotonic() - t0 < 1.0  # did not wait for max_wait
+        # ... and it pulled the earlier batch requests along, FIFO
+        assert [r.request_id for r in batch] == [0, 1, 2]
+        assert [r.slo_class for r in batch] == [
+            "batch", "batch", "interactive",
+        ]
+
+    def test_long_override_defers_flush(self):
+        """A request may also *grant* more slack than the batcher
+        default; alone in the queue it is not flushed early."""
+        b = DynamicBatcher(max_batch=8, max_wait=0.0, max_queue=64)
+        b.submit(_x(0), max_wait=60.0)
+        assert b.next_batch(timeout=0.05) == []  # still coalescing
+        b.submit(_x(1))  # default max_wait=0 => flush now
+        batch = b.next_batch(timeout=5.0)
+        assert [r.request_id for r in batch] == [0, 1]
+
+
+class TestDraining:
+    def test_draining_rejects_submits_but_keeps_dispatching(self):
+        b = DynamicBatcher(max_batch=4, max_wait=60.0, max_queue=8)
+        b.submit(_x(0))
+        b.set_draining(True)
+        assert b.draining
+        with pytest.raises(Overloaded, match="draining"):
+            b.submit(_x(1))
+        # already-admitted work still dispatches — draining gates
+        # admission only, never the consumer side
+        b.close()
+        assert [r.request_id for r in b.next_batch(timeout=0.5)] == [0]
+
+    def test_draining_is_reversible(self):
+        b = DynamicBatcher(max_batch=4, max_wait=0.0, max_queue=8)
+        b.set_draining(True)
+        with pytest.raises(Overloaded):
+            b.submit(_x(0))
+        b.set_draining(False)
+        req = b.submit(_x(0))  # admission re-opened
+        assert req.request_id == 0  # the rejected submit burned no id
+        assert not b.draining
+
+
+class TestShutdownRaces:
+    """submit racing close: every id is either admitted exactly once
+    (and dispatched exactly once) or rejected loudly — never lost,
+    never duplicated."""
+
+    def test_submit_racing_close_never_loses_or_duplicates(self):
+        b = DynamicBatcher(max_batch=4, max_wait=0.0, max_queue=10_000)
+        admitted: list[int] = []
+        rejected = [0]
+        lock = threading.Lock()
+        start = threading.Event()
+
+        def submitter():
+            start.wait()
+            for _ in range(200):
+                try:
+                    req = b.submit(_x(0))
+                except Overloaded:
+                    with lock:
+                        rejected[0] += 1
+                else:
+                    with lock:
+                        admitted.append(req.request_id)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        start.set()
+        time.sleep(0.002)  # let some submits land before the close
+        b.close()
+        for t in threads:
+            t.join()
+        # drain everything the batcher admitted
+        dispatched: list[int] = []
+        while True:
+            batch = b.next_batch(timeout=0.0)
+            if not batch:
+                break
+            dispatched.extend(r.request_id for r in batch)
+        assert sorted(admitted) == list(range(len(admitted)))  # gap-free
+        assert len(admitted) + rejected[0] == 800  # every submit accounted
+        assert b.admitted == len(admitted)
+        assert b.rejected == rejected[0]
+        # ids admitted before the close that were not drained would be
+        # lost requests; ids appearing twice would be duplicates
+        assert dispatched == sorted(admitted)
+
+    def test_zero_timeout_drain_after_close_is_fifo(self):
+        """``next_batch(timeout=0.0)`` after close never blocks and
+        returns the backlog as consecutive FIFO slices."""
+        b = DynamicBatcher(max_batch=3, max_wait=60.0, max_queue=64)
+        for i in range(8):
+            b.submit(_x(i))
+        b.close()
+        slices = []
+        t0 = time.monotonic()
+        while True:
+            batch = b.next_batch(timeout=0.0)
+            if not batch:
+                break
+            slices.append([r.request_id for r in batch])
+        assert time.monotonic() - t0 < 1.0  # non-blocking drain
+        assert slices == [[0, 1, 2], [3, 4, 5], [6, 7]]
+        assert b.next_batch(timeout=0.0) == []  # stays empty, stays fast
 
 
 class TestServingStats:
@@ -157,6 +283,67 @@ class TestServingStats:
         snap = stats.snapshot()
         assert snap["rejected"] == 2
         assert snap["failed"] == 1
+
+    def test_gauges_need_a_source(self):
+        """Snapshot gauges are ``None`` until an owning server wires a
+        gauge source, then report its live readings."""
+        stats = ServingStats()
+        snap = stats.snapshot()
+        assert snap["pending"] is None and snap["in_flight"] is None
+        readings = {"pending": 3, "in_flight": 2}
+        stats.set_gauge_source(lambda: dict(readings))
+        snap = stats.snapshot()
+        assert snap["pending"] == 3 and snap["in_flight"] == 2
+        readings["pending"] = 7  # gauges are instantaneous, not cached
+        assert stats.snapshot()["pending"] == 7
+
+    def test_per_class_accounting(self):
+        stats = ServingStats()
+        now = time.monotonic()
+        for i in range(6):
+            t = self._timing(i, 0.01 if i % 2 else 0.2)
+            t.slo_class = "interactive" if i % 2 else "batch"
+            stats.record(t, now + i * 1e-3)
+        stats.record_rejected("interactive")
+        stats.record_rejected("interactive")
+        stats.record_rejected("batch")
+        stats.record_rejected()  # untagged: counted, not classed
+        snap = stats.snapshot()
+        assert snap["completed_by_class"] == {"batch": 3, "interactive": 3}
+        assert snap["rejected_by_class"] == {"batch": 1, "interactive": 2}
+        assert snap["rejected"] == 4
+        per = snap["per_class"]
+        assert per["interactive"]["latency_s"]["p50"] == pytest.approx(0.01)
+        assert per["batch"]["latency_s"]["p50"] == pytest.approx(0.2)
+        assert per["batch"]["window_filled"] == 3
+
+    def test_recent_queue_wait_p95(self):
+        stats = ServingStats()
+        assert stats.recent_queue_wait_p95() is None
+        now = time.monotonic()
+        for i in range(20):
+            stats.record(self._timing(i, 0.04), now)
+        # queue_wait is latency/4 = 0.01 in _timing
+        assert stats.recent_queue_wait_p95() == pytest.approx(0.01)
+        # the window argument bounds how far back the signal looks
+        stats.record(self._timing(99, 4.0), now)  # queue_wait = 1.0
+        assert stats.recent_queue_wait_p95(last=1) == pytest.approx(1.0)
+
+    def test_recent_queue_wait_p95_expires_stale_readings(self):
+        """The pressure signal decays by wall clock: a turbulence spike
+        must not latch admission rejection forever once traffic stops
+        completing (rejected requests produce no fresh completions, so
+        a count-only window would never refresh)."""
+        stats = ServingStats()
+        stale = time.monotonic() - 60.0
+        for i in range(10):
+            stats.record(self._timing(i, 4.0), stale)  # queue_wait = 1.0
+        assert stats.recent_queue_wait_p95() is None  # expired
+        assert stats.recent_queue_wait_p95(
+            horizon_s=None
+        ) == pytest.approx(1.0)  # raw count window still sees it
+        stats.record(self._timing(99, 0.04), time.monotonic())
+        assert stats.recent_queue_wait_p95() == pytest.approx(0.01)
 
     def test_timings_window_is_bounded(self):
         """A long-lived server keeps cumulative counters but only a
